@@ -1,0 +1,68 @@
+// Adaptive: the RAQO architecture's feedback loop — "if the cluster
+// conditions change until or during the execution of the query, the
+// dataflow/runtime can further adjust the query/resource plan by consulting
+// the optimizer".
+//
+// A query is optimized against an idle cluster; before execution starts, a
+// tenant spike shrinks what the resource manager can offer. Re-optimizing
+// under the new conditions changes the joint plan instead of leaving the
+// job queued behind an impossible request.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"raqo"
+)
+
+func main() {
+	schema := raqo.TPCH(100)
+	query, err := raqo.TPCHQuery(schema, "Q3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	models, err := raqo.TrainModels(raqo.Hive())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Idle cluster: the full 100 x 10GB space.
+	idle := raqo.DefaultConditions()
+	opt, err := raqo.NewOptimizer(idle, raqo.Options{Models: models})
+	if err != nil {
+		log.Fatal(err)
+	}
+	before, err := opt.Optimize(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimized at submission (idle cluster %v):\n%s", idle, before.Plan)
+	fmt.Printf("modeled %.0fs, %v\n\n", before.Time, before.Money)
+
+	// A workload spike: the RM can now only offer 10 small containers.
+	spike := raqo.Conditions{
+		MinContainers: 1, MaxContainers: 10, ContainerStep: 1,
+		MinContainerGB: 1, MaxContainerGB: 4, GBStep: 1,
+	}
+	after, changed, err := opt.Reoptimize(query, before, spike)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster conditions changed to %v\n", spike)
+	if changed {
+		fmt.Printf("re-optimized joint plan (changed):\n%s", after.Plan)
+		fmt.Printf("modeled %.0fs, %v\n", after.Time, after.Money)
+	} else {
+		fmt.Println("joint plan unchanged — execution proceeds untouched")
+	}
+
+	// And when the spike clears, re-optimizing again recovers the
+	// original-quality plan.
+	recovered, changedBack, err := opt.Reoptimize(query, after, idle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nspike cleared (changed=%v): modeled %.0fs, %v\n",
+		changedBack, recovered.Time, recovered.Money)
+}

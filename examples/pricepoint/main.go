@@ -1,0 +1,51 @@
+// Pricepoint: the paper's c ⇒ (p, r) use case — "we may want to constrain
+// the monetary cost c (a more directly understood metric by the end user)
+// ... ask the optimizer to adjust the shape of resources to produce the
+// best performance for a given price point".
+//
+// Sweeping the dollar budget traces the price/performance frontier of the
+// joint plan space.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"raqo"
+)
+
+func main() {
+	schema := raqo.TPCH(100)
+	query, err := raqo.TPCHQuery(schema, "Q3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	models, err := raqo.TrainModels(raqo.Hive())
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := raqo.NewOptimizer(raqo.DefaultConditions(), raqo.Options{Models: models, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Anchor the sweep on the unconstrained optimum's cost.
+	free, err := opt.Optimize(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unconstrained joint optimum: %.0fs at %v\n\n", free.Time, free.Money)
+	fmt.Printf("%-12s  %-10s  %-12s  %s\n", "budget", "time (s)", "cost", "plan")
+	fmt.Println(strings.Repeat("-", 64))
+	for _, factor := range []float64{0.5, 1, 2, 4, 8} {
+		budget := raqo.Dollars(float64(free.Money) * factor)
+		d, err := opt.OptimizeForPrice(query, budget)
+		if err != nil {
+			fmt.Printf("%-12v  %s\n", budget, err)
+			continue
+		}
+		fmt.Printf("%-12v  %-10.0f  %-12v  %s\n", budget, d.Time, d.Money, d.Plan.Signature())
+	}
+	fmt.Println("\nhigher budgets buy faster joint plans; below the frontier the optimizer says so explicitly.")
+}

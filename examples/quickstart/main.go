@@ -1,0 +1,71 @@
+// Quickstart: jointly optimize a TPC-H query and its resources, then run
+// the joint plan on the simulated Hive engine.
+//
+// This is the paper's headline flow: instead of Hive picking a plan with
+// its resource-blind rules and the user guessing container settings, RAQO
+// emits a plan whose every join carries the container count and size that
+// minimize its modeled cost under the current cluster conditions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"raqo"
+)
+
+func main() {
+	// TPC-H at scale factor 100 — the paper's dataset (~77 GB lineitem).
+	schema := raqo.TPCH(100)
+
+	// Q3's join set: customer ⋈ orders ⋈ lineitem.
+	query, err := raqo.NewQuery(schema, "customer", "orders", "lineitem")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Train cost models on simulated profile runs (Section VI-A pipeline),
+	// then build the optimizer against the default cluster: 100 containers
+	// of up to 10 GB.
+	models, err := raqo.TrainModels(raqo.Hive())
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := raqo.NewOptimizer(raqo.DefaultConditions(), raqo.Options{Models: models})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	decision, err := opt.Optimize(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("joint query + resource plan:")
+	fmt.Println(decision.Plan)
+	fmt.Printf("modeled: %.0fs, %v | planned in %v (%d plans, %d resource configs)\n\n",
+		decision.Time, decision.Money, decision.Elapsed,
+		decision.PlansConsidered, decision.ResourceIterations)
+
+	// Execute the joint plan on the simulated engine.
+	result, err := raqo.Simulate(raqo.Hive(), decision.Plan, raqo.DefaultPricing())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated execution: %.0fs wall clock, %.2f TB·s reserved, %v\n",
+		result.Seconds, result.Usage.TBSeconds(), result.Money)
+
+	// Compare with today's practice: the same query planned blind to
+	// resources and executed with one user-guessed configuration.
+	fixed := raqo.Resources{Containers: 10, ContainerGB: 3}
+	fixedDecision, err := opt.OptimizeFixed(query, fixed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fixedResult, err := raqo.SimulateUniform(raqo.Hive(), fixedDecision.Plan, fixed, raqo.DefaultPricing())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fixed %v baseline:   %.0fs wall clock, %.2f TB·s reserved, %v\n",
+		fixed, fixedResult.Seconds, fixedResult.Usage.TBSeconds(), fixedResult.Money)
+	fmt.Printf("joint speedup: %.2fx\n", fixedResult.Seconds/result.Seconds)
+}

@@ -1,0 +1,3 @@
+module raqo
+
+go 1.22

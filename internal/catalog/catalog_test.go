@@ -1,0 +1,249 @@
+package catalog
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"raqo/internal/units"
+)
+
+func TestAddTableValidation(t *testing.T) {
+	s := NewSchema()
+	if err := s.AddTable(Table{Name: "", Rows: 1, RowBytes: 1}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := s.AddTable(Table{Name: "a", Rows: 0, RowBytes: 1}); err == nil {
+		t.Error("zero rows accepted")
+	}
+	if err := s.AddTable(Table{Name: "a", Rows: 1, RowBytes: 0}); err == nil {
+		t.Error("zero rowBytes accepted")
+	}
+	if err := s.AddTable(Table{Name: "a", Rows: 10, RowBytes: 10}); err != nil {
+		t.Fatalf("valid table rejected: %v", err)
+	}
+	if err := s.AddTable(Table{Name: "a", Rows: 10, RowBytes: 10}); err == nil {
+		t.Error("duplicate accepted")
+	}
+}
+
+func TestAddJoinValidation(t *testing.T) {
+	s := NewSchema()
+	for _, name := range []string{"a", "b"} {
+		if err := s.AddTable(Table{Name: name, Rows: 10, RowBytes: 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		a, b string
+		sel  float64
+		ok   bool
+	}{
+		{"a", "a", 0.5, false},
+		{"a", "x", 0.5, false},
+		{"x", "b", 0.5, false},
+		{"a", "b", 0, false},
+		{"a", "b", 1.5, false},
+		{"a", "b", 0.1, true},
+	}
+	for _, c := range cases {
+		err := s.AddJoin(c.a, c.b, c.sel)
+		if (err == nil) != c.ok {
+			t.Errorf("AddJoin(%q,%q,%v) err=%v, want ok=%v", c.a, c.b, c.sel, err, c.ok)
+		}
+	}
+	// Symmetric lookup.
+	if sel, ok := s.Selectivity("b", "a"); !ok || sel != 0.1 {
+		t.Errorf("Selectivity(b,a) = %v,%v, want 0.1,true", sel, ok)
+	}
+}
+
+func TestTablesSorted(t *testing.T) {
+	s := NewSchema()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if err := s.AddTable(Table{Name: name, Rows: 1, RowBytes: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Tables()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tables() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTPCHStats(t *testing.T) {
+	s := TPCH(100)
+	if n := s.NumTables(); n != 8 {
+		t.Fatalf("NumTables = %d, want 8", n)
+	}
+	li := s.MustTable(Lineitem)
+	if li.Rows != 600_000_000 {
+		t.Errorf("lineitem rows = %d, want 600M", li.Rows)
+	}
+	// Paper: "Large size table = 77G" for lineitem at SF 100.
+	gb := li.Size().GBf()
+	if gb < 65 || gb > 85 {
+		t.Errorf("lineitem size = %.1f GB, want ≈77 GB", gb)
+	}
+	// PK-FK selectivity: lineitem ⋈ orders returns |lineitem|.
+	sel, ok := s.Selectivity(Lineitem, Orders)
+	if !ok {
+		t.Fatal("no lineitem-orders edge")
+	}
+	out := float64(li.Rows) * float64(s.MustTable(Orders).Rows) * sel
+	if diff := out - float64(li.Rows); diff > 1 || diff < -1 {
+		t.Errorf("lineitem⋈orders cardinality = %v, want %d", out, li.Rows)
+	}
+	if !s.Connected([]string{Customer, Orders, Lineitem}) {
+		t.Error("Q3 tables should be connected")
+	}
+	if s.Connected([]string{Customer, Part}) {
+		t.Error("customer-part should not be directly connected")
+	}
+	if !s.Connected(s.Tables()) {
+		t.Error("whole TPC-H graph should be connected")
+	}
+}
+
+func TestTPCHScaleFactor(t *testing.T) {
+	s1, s10 := TPCH(1), TPCH(10)
+	if r1, r10 := s1.MustTable(Orders).Rows, s10.MustTable(Orders).Rows; r10 != 10*r1 {
+		t.Errorf("orders rows: sf10=%d, sf1=%d, want 10x", r10, r1)
+	}
+	// Fixed-size tables do not scale.
+	if s1.MustTable(Region).Rows != s10.MustTable(Region).Rows {
+		t.Error("region should not scale")
+	}
+}
+
+func TestSetTableSize(t *testing.T) {
+	s := TPCH(100)
+	if err := s.SetTableSize(Orders, units.FromGB(3.4)); err != nil {
+		t.Fatal(err)
+	}
+	got := s.MustTable(Orders).Size().GBf()
+	if got < 3.35 || got > 3.45 {
+		t.Errorf("orders size after SetTableSize = %.3f GB, want ≈3.4", got)
+	}
+	if err := s.SetTableSize("nope", units.GB); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := TPCH(1)
+	c := s.Clone()
+	if err := c.SetTableSize(Orders, units.GB); err != nil {
+		t.Fatal(err)
+	}
+	if s.MustTable(Orders).Rows == c.MustTable(Orders).Rows {
+		t.Error("Clone shares table stats with original")
+	}
+	if len(s.Edges()) != len(c.Edges()) {
+		t.Error("Clone lost edges")
+	}
+}
+
+func TestRandomSchemaProperties(t *testing.T) {
+	cfg := DefaultRandomConfig()
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		rng := rand.New(rand.NewSource(seed))
+		s, err := Random(rng, n, cfg)
+		if err != nil {
+			return false
+		}
+		if s.NumTables() != n {
+			return false
+		}
+		// Always connected (spanning tree).
+		if !s.Connected(s.Tables()) {
+			return false
+		}
+		for _, name := range s.Tables() {
+			tab := s.MustTable(name)
+			if tab.Rows < cfg.MinRows || tab.Rows > cfg.MaxRows {
+				return false
+			}
+			if tab.RowBytes < cfg.MinRowBytes || tab.RowBytes > cfg.MaxRowBytes {
+				return false
+			}
+		}
+		for _, e := range s.Edges() {
+			if e.Selectivity <= 0 || e.Selectivity > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomSchemaDeterministic(t *testing.T) {
+	a, err := Random(rand.New(rand.NewSource(7)), 20, DefaultRandomConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(rand.New(rand.NewSource(7)), 20, DefaultRandomConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatalf("edge counts differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestRandomSchemaErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Random(rng, 0, DefaultRandomConfig()); err == nil {
+		t.Error("n=0 accepted")
+	}
+	bad := DefaultRandomConfig()
+	bad.MaxRows = bad.MinRows - 1
+	if _, err := Random(rng, 3, bad); err == nil {
+		t.Error("bad row range accepted")
+	}
+	bad2 := DefaultRandomConfig()
+	bad2.MinRowBytes = 0
+	if _, err := Random(rng, 3, bad2); err == nil {
+		t.Error("bad rowBytes range accepted")
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	s := TPCH(1)
+	nb := s.Neighbors(Lineitem)
+	want := map[string]bool{Orders: true, Part: true, Supplier: true, PartSupp: true}
+	if len(nb) != len(want) {
+		t.Fatalf("lineitem neighbors = %v", nb)
+	}
+	for _, n := range nb {
+		if !want[n] {
+			t.Errorf("unexpected neighbor %s", n)
+		}
+	}
+}
+
+func TestConnectedEdgeCases(t *testing.T) {
+	s := TPCH(1)
+	if s.Connected(nil) {
+		t.Error("empty set should not be connected")
+	}
+	if !s.Connected([]string{Orders}) {
+		t.Error("singleton should be connected")
+	}
+	if s.Connected([]string{Orders, "ghost"}) {
+		t.Error("unknown table should fail connectivity")
+	}
+}

@@ -1,0 +1,87 @@
+package catalog
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomConfig controls the random schema generator. The zero value is not
+// useful; use DefaultRandomConfig, which matches the paper's Section VII
+// setup: "a random number of tables, each of which have a randomly picked
+// row size between 100 and 200 bytes, and a randomly picked number of rows
+// between 100K and 2M. We then randomly generate join edges to create the
+// join graph (with similar join selectivities as in the TPC-H schema)".
+type RandomConfig struct {
+	MinRowBytes, MaxRowBytes int   // row width range, inclusive
+	MinRows, MaxRows         int64 // cardinality range, inclusive
+	// ExtraEdgeFraction is the number of join edges added beyond the
+	// spanning tree, as a fraction of the table count. The spanning tree
+	// guarantees every query over the schema is connected.
+	ExtraEdgeFraction float64
+}
+
+// DefaultRandomConfig returns the paper's generator parameters.
+func DefaultRandomConfig() RandomConfig {
+	return RandomConfig{
+		MinRowBytes:       100,
+		MaxRowBytes:       200,
+		MinRows:           100_000,
+		MaxRows:           2_000_000,
+		ExtraEdgeFraction: 0.5,
+	}
+}
+
+// Random generates a schema with n tables named t000..t(n-1) using the given
+// source of randomness. The join graph is a random spanning tree plus extra
+// random edges, so it is always connected. Selectivities follow the TPC-H
+// convention: 1/max(|A|,|B|), i.e. PK-FK-like joins.
+func Random(rng *rand.Rand, n int, cfg RandomConfig) (*Schema, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("catalog: random schema needs at least 1 table, got %d", n)
+	}
+	if cfg.MinRowBytes <= 0 || cfg.MaxRowBytes < cfg.MinRowBytes {
+		return nil, fmt.Errorf("catalog: bad row-byte range [%d,%d]", cfg.MinRowBytes, cfg.MaxRowBytes)
+	}
+	if cfg.MinRows <= 0 || cfg.MaxRows < cfg.MinRows {
+		return nil, fmt.Errorf("catalog: bad row-count range [%d,%d]", cfg.MinRows, cfg.MaxRows)
+	}
+	s := NewSchema()
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = fmt.Sprintf("t%03d", i)
+		t := Table{
+			Name:     names[i],
+			Rows:     cfg.MinRows + rng.Int63n(cfg.MaxRows-cfg.MinRows+1),
+			RowBytes: cfg.MinRowBytes + rng.Intn(cfg.MaxRowBytes-cfg.MinRowBytes+1),
+		}
+		if err := s.AddTable(t); err != nil {
+			return nil, err
+		}
+	}
+	sel := func(a, b string) float64 {
+		ra, rb := s.MustTable(a).Rows, s.MustTable(b).Rows
+		if rb > ra {
+			ra = rb
+		}
+		return 1.0 / float64(ra)
+	}
+	// Random spanning tree: connect each table i>0 to a random earlier one.
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i)
+		if err := s.AddJoin(names[i], names[j], sel(names[i], names[j])); err != nil {
+			return nil, err
+		}
+	}
+	// Extra random edges.
+	extra := int(float64(n) * cfg.ExtraEdgeFraction)
+	for k := 0; k < extra && n > 2; k++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b || s.Joinable(names[a], names[b]) {
+			continue
+		}
+		if err := s.AddJoin(names[a], names[b], sel(names[a], names[b])); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,71 @@
+package catalog
+
+// TPC-H schema with the benchmark's scale-factor cardinalities. Row widths
+// approximate the ORC (columnar, lightly compressed) footprint the paper
+// measured: at SF 100 lineitem is ≈77 GB (the paper's "large table = 77G")
+// and orders ≈5.1 GB was obtained by sampling.
+//
+// Join edges follow the benchmark's key relationships with the usual
+// primary-key/foreign-key selectivity 1/|PK side|, so that a PK-FK join
+// returns the FK-side cardinality.
+
+// TPC-H table names.
+const (
+	Region   = "region"
+	Nation   = "nation"
+	Supplier = "supplier"
+	Customer = "customer"
+	Part     = "part"
+	PartSupp = "partsupp"
+	Orders   = "orders"
+	Lineitem = "lineitem"
+)
+
+// TPCH builds the TPC-H schema at the given scale factor (sf=1 is ~1 GB of
+// raw data; the paper uses sf=100). Panics on sf <= 0 since the scale factor
+// is a static experiment parameter.
+func TPCH(sf float64) *Schema {
+	if sf <= 0 {
+		panic("catalog: TPCH scale factor must be positive")
+	}
+	s := NewSchema()
+	scaled := func(base float64) int64 {
+		n := int64(base * sf)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	tables := []Table{
+		{Name: Region, Rows: 5, RowBytes: 120},
+		{Name: Nation, Rows: 25, RowBytes: 110},
+		{Name: Supplier, Rows: scaled(10_000), RowBytes: 140},
+		{Name: Customer, Rows: scaled(150_000), RowBytes: 160},
+		{Name: Part, Rows: scaled(200_000), RowBytes: 150},
+		{Name: PartSupp, Rows: scaled(800_000), RowBytes: 140},
+		{Name: Orders, Rows: scaled(1_500_000), RowBytes: 110},
+		{Name: Lineitem, Rows: scaled(6_000_000), RowBytes: 128},
+	}
+	for _, t := range tables {
+		if err := s.AddTable(t); err != nil {
+			panic(err)
+		}
+	}
+	pkfk := func(fk, pk string) {
+		sel := 1.0 / float64(s.MustTable(pk).Rows)
+		if err := s.AddJoin(fk, pk, sel); err != nil {
+			panic(err)
+		}
+	}
+	pkfk(Lineitem, Orders)   // l_orderkey = o_orderkey
+	pkfk(Lineitem, Part)     // l_partkey = p_partkey
+	pkfk(Lineitem, Supplier) // l_suppkey = s_suppkey
+	pkfk(Lineitem, PartSupp) // (l_partkey,l_suppkey) = (ps_partkey,ps_suppkey)
+	pkfk(Orders, Customer)   // o_custkey = c_custkey
+	pkfk(PartSupp, Part)     // ps_partkey = p_partkey
+	pkfk(PartSupp, Supplier) // ps_suppkey = s_suppkey
+	pkfk(Customer, Nation)   // c_nationkey = n_nationkey
+	pkfk(Supplier, Nation)   // s_nationkey = n_nationkey
+	pkfk(Nation, Region)     // n_regionkey = r_regionkey
+	return s
+}

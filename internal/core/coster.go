@@ -1,0 +1,130 @@
+// Package core is the paper's primary contribution: Resource and Query
+// Optimization (RAQO). It provides
+//
+//   - Coster, the getPlanCost extension of Section VI-C that runs resource
+//     planning (hill climbing, brute force, or the resource-plan cache)
+//     for every candidate sub-plan an underlying query planner prices;
+//   - Optimizer, the joint query/resource optimizer supporting the
+//     Section IV use-case modes: (p,r) jointly, r ⇒ p (resource budget),
+//     p ⇒ (r,c) (resources for a fixed plan), c ⇒ (p,r) (price point),
+//     and adaptive re-optimization when cluster conditions change;
+//   - rule-based RAQO: the default Hive/Spark 10 MB rule (Figure 10) and
+//     resource-aware decision trees learned from switch-point data
+//     (Figure 11).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"raqo/internal/cluster"
+	"raqo/internal/cost"
+	"raqo/internal/execsim"
+	"raqo/internal/optimizer"
+	"raqo/internal/plan"
+	"raqo/internal/resource"
+)
+
+// Coster prices one join operator, optionally planning its resources
+// first. With Resources set, this is cost-based RAQO's integration point:
+// "as the query planner considers different candidate sub-plans, the
+// resource planner considers the resource space for each of them". With
+// Resources nil, it is the plain QO baseline: every operator is priced at
+// the Fixed configuration.
+type Coster struct {
+	Models  *cost.Models
+	Pricing cost.Pricing
+
+	// Resources, when non-nil, plans each operator's configuration within
+	// Cond. When nil, Fixed is used for every operator.
+	Resources resource.Planner
+	Fixed     plan.Resources
+	Cond      cluster.Conditions
+
+	// Engine, when non-nil, makes costing memory-aware — the Section VIII
+	// pruning idea ("a broadcast join requires one relation to fit in
+	// memory"): broadcast operators are planned only over container sizes
+	// whose hash budget fits the build side, and rejected outright when no
+	// size within the conditions fits, so the planner prunes the whole
+	// candidate instead of costing an impossible plan.
+	Engine *execsim.Params
+
+	// Pruned counts operators rejected by the memory-awareness check.
+	Pruned int
+}
+
+var _ optimizer.OperatorCoster = (*Coster)(nil)
+
+// CostOperator implements optimizer.OperatorCoster, annotating the
+// operator with the chosen resource configuration.
+func (c *Coster) CostOperator(j *plan.Node) (optimizer.OpCost, error) {
+	if j.IsScan() {
+		return optimizer.OpCost{}, nil
+	}
+	if c.Models == nil {
+		return optimizer.OpCost{}, fmt.Errorf("core: coster has no cost models")
+	}
+	model, ok := c.Models.For(j.Algo)
+	if !ok {
+		return optimizer.OpCost{}, fmt.Errorf("core: no cost model for %s", j.Algo)
+	}
+	cond := c.Cond
+	if c.Engine != nil && j.Algo == plan.BHJ {
+		restricted, err := c.restrictForBroadcast(j)
+		if err != nil {
+			c.Pruned++
+			return optimizer.OpCost{}, err
+		}
+		cond = restricted
+	}
+	var r plan.Resources
+	if c.Resources != nil {
+		var err error
+		r, err = c.Resources.Plan(model, j.SmallerInputGB(), cond)
+		if err != nil {
+			return optimizer.OpCost{}, fmt.Errorf("core: resource planning for %s over %v: %w",
+				j.Algo, j.Relations(), err)
+		}
+	} else {
+		if c.Fixed.IsZero() {
+			return optimizer.OpCost{}, fmt.Errorf("core: coster has neither a resource planner nor a fixed configuration")
+		}
+		r = c.Fixed
+		if c.Engine != nil && j.Algo == plan.BHJ &&
+			j.SmallerInputGB() > c.Engine.HashCapacityGB(r.ContainerGB, 1) {
+			c.Pruned++
+			return optimizer.OpCost{}, fmt.Errorf("core: %s over %v does not fit %v (build side %.2f GB)",
+				j.Algo, j.Relations(), r, j.SmallerInputGB())
+		}
+	}
+	j.Res = r
+	secs := model.Cost(j.SmallerInputGB(), r.ContainerGB, float64(r.Containers))
+	return optimizer.OpCost{
+		Seconds: secs,
+		Money:   c.Pricing.StageCost(r, secs),
+	}, nil
+}
+
+// restrictForBroadcast raises the minimum container size so the operator's
+// hash side fits the engine's memory budget; it errors when even the
+// largest container cannot hold it.
+func (c *Coster) restrictForBroadcast(j *plan.Node) (cluster.Conditions, error) {
+	need := j.SmallerInputGB() / c.Engine.OOMFrac
+	cond := c.Cond
+	if need <= cond.MinContainerGB {
+		return cond, nil
+	}
+	if need > cond.MaxContainerGB {
+		return cluster.Conditions{}, fmt.Errorf(
+			"core: broadcast over %v infeasible: %.2f GB build side needs %.2f GB containers, cluster max is %g GB",
+			j.Relations(), j.SmallerInputGB(), need, cond.MaxContainerGB)
+	}
+	// Snap up to the grid.
+	steps := math.Ceil((need - cond.MinContainerGB) / cond.GBStep)
+	cond.MinContainerGB += steps * cond.GBStep
+	if cond.MinContainerGB > cond.MaxContainerGB {
+		return cluster.Conditions{}, fmt.Errorf(
+			"core: broadcast over %v infeasible on the resource grid", j.Relations())
+	}
+	return cond, nil
+}

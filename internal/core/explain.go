@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"raqo/internal/plan"
+	"raqo/internal/units"
+)
+
+// Explain renders a joint decision the way the paper's Section VIII asks —
+// "How will the explain command look in such systems?" — one line per
+// operator with its implementation, its chosen resources, its modeled time
+// and money, and the modeled cost of the alternative implementation at the
+// same resources, so the user can see why each choice was made.
+func (o *Optimizer) Explain(d *Decision) (string, error) {
+	if d == nil || d.Plan == nil {
+		return "", fmt.Errorf("core: nothing to explain")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "joint query/resource plan  (modeled %.1fs, %v; planned in %v)\n",
+		d.Time, d.Money, d.Elapsed)
+	fmt.Fprintf(&b, "cluster conditions: %v\n", o.cond)
+	if d.PlansConsidered > 0 {
+		fmt.Fprintf(&b, "search: %d candidate plans, %d resource configurations\n",
+			d.PlansConsidered, d.ResourceIterations)
+	}
+	b.WriteString("\noperators (execution order):\n")
+	for i, j := range d.Plan.Joins() {
+		model, ok := o.opts.Models.For(j.Algo)
+		if !ok {
+			return "", fmt.Errorf("core: no model for %s", j.Algo)
+		}
+		ss := j.SmallerInputGB()
+		secs := model.Cost(ss, j.Res.ContainerGB, float64(j.Res.Containers))
+		money := o.opts.Pricing.StageCost(j.Res, secs)
+
+		other := plan.SMJ
+		if j.Algo == plan.SMJ {
+			other = plan.BHJ
+		}
+		alt := "n/a"
+		if altModel, ok := o.opts.Models.For(other); ok {
+			altSecs := altModel.Cost(ss, j.Res.ContainerGB, float64(j.Res.Containers))
+			alt = fmt.Sprintf("%s would cost %.1fs", other, altSecs)
+		}
+		fmt.Fprintf(&b, "  %d. %s(%s)  resources=%v  build-side=%s  modeled=%.1fs %v  [%s]\n",
+			i+1, j.Algo, strings.Join(j.Relations(), "⋈"), j.Res,
+			units.FromGB(ss), secs, money, alt)
+	}
+	b.WriteString("\nplan tree:\n")
+	b.WriteString(d.Plan.String())
+	return b.String(), nil
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"raqo/internal/cluster"
+	"raqo/internal/cost"
+	"raqo/internal/execsim"
+	"raqo/internal/optimizer"
+	"raqo/internal/optimizer/randomized"
+	"raqo/internal/optimizer/selinger"
+	"raqo/internal/plan"
+	"raqo/internal/resource"
+	"raqo/internal/units"
+)
+
+// PlannerKind selects the query-planning algorithm RAQO integrates with.
+type PlannerKind int
+
+// Supported query planners (the two prototypes of Section VII-A).
+const (
+	// Selinger is the traditional System R bottom-up left-deep planner.
+	Selinger PlannerKind = iota
+	// FastRandomized is the randomized multi-objective planner.
+	FastRandomized
+)
+
+// String names the planner kind.
+func (k PlannerKind) String() string {
+	switch k {
+	case Selinger:
+		return "selinger"
+	case FastRandomized:
+		return "fast-randomized"
+	}
+	return fmt.Sprintf("PlannerKind(%d)", int(k))
+}
+
+// Options configures an Optimizer. Zero values select sensible defaults:
+// Selinger planning, hill-climbing resource planning, the paper's
+// published cost models and default serverless pricing.
+type Options struct {
+	Planner PlannerKind
+	Models  *cost.Models
+	Pricing cost.Pricing
+	// Resource is the resource planner; nil selects a fresh HillClimb. To
+	// enable resource-plan caching pass a *resource.Cache.
+	Resource resource.Planner
+	// Randomized tunes the FastRandomized planner.
+	Randomized randomized.Options
+	// Seed drives the randomized planner's RNG.
+	Seed int64
+	// Engine, when non-nil, enables memory-aware pruning: broadcast
+	// candidates whose build side cannot fit any container allowed by the
+	// conditions are pruned from the search instead of being costed.
+	Engine *execsim.Params
+}
+
+// Optimizer is the combined resource-and-query optimizer of Figure 8(b):
+// it takes declarative queries plus the current cluster conditions and
+// emits a joint query/resource plan.
+type Optimizer struct {
+	opts Options
+	cond cluster.Conditions
+	rng  *rand.Rand
+}
+
+// New builds an Optimizer for the given cluster conditions.
+func New(cond cluster.Conditions, opts Options) (*Optimizer, error) {
+	if err := cond.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Models == nil {
+		opts.Models = cost.PaperModels()
+	}
+	if opts.Pricing.DollarPerGBSecond == 0 {
+		opts.Pricing = cost.DefaultPricing()
+	}
+	if opts.Resource == nil {
+		opts.Resource = &resource.HillClimb{}
+	}
+	return &Optimizer{
+		opts: opts,
+		cond: cond,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+	}, nil
+}
+
+// Conditions returns the cluster conditions the optimizer currently plans
+// against.
+func (o *Optimizer) Conditions() cluster.Conditions { return o.cond }
+
+// SetConditions updates the optimizer's view of the cluster — the
+// resource-manager feedback channel of the RAQO architecture.
+func (o *Optimizer) SetConditions(c cluster.Conditions) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	o.cond = c
+	return nil
+}
+
+// Decision is a joint query and resource plan with its planning metrics.
+type Decision struct {
+	Plan *plan.Node
+	// Time and Money are the modeled execution time and monetary cost of
+	// the plan at its chosen per-operator resources.
+	Time  float64
+	Money units.Dollars
+	// PlansConsidered counts candidate sub-plans priced by the query
+	// planner; ResourceIterations counts resource configurations explored
+	// (the Figures 12-14 metrics).
+	PlansConsidered    int
+	ResourceIterations int64
+	// Elapsed is the planner wall-clock time.
+	Elapsed time.Duration
+}
+
+func (o *Optimizer) coster(rp resource.Planner, fixed plan.Resources, cond cluster.Conditions) *Coster {
+	return &Coster{
+		Models:    o.opts.Models,
+		Pricing:   o.opts.Pricing,
+		Resources: rp,
+		Fixed:     fixed,
+		Cond:      cond,
+		Engine:    o.opts.Engine,
+	}
+}
+
+func (o *Optimizer) planner(c optimizer.OperatorCoster) optimizer.Planner {
+	switch o.opts.Planner {
+	case FastRandomized:
+		return &randomized.Planner{Coster: c, Opts: o.opts.Randomized, RNG: o.rng}
+	default:
+		return &selinger.Planner{Coster: c}
+	}
+}
+
+func (o *Optimizer) run(q *plan.Query, c *Coster) (*Decision, error) {
+	var before int64
+	if c.Resources != nil {
+		before = c.Resources.Evaluations()
+	}
+	start := time.Now()
+	res, err := o.planner(c).Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	var iters int64
+	if c.Resources != nil {
+		iters = c.Resources.Evaluations() - before
+	}
+	return &Decision{
+		Plan:               res.Plan,
+		Time:               res.Cost.Seconds,
+		Money:              res.Cost.Money,
+		PlansConsidered:    res.PlansConsidered,
+		ResourceIterations: iters,
+		Elapsed:            elapsed,
+	}, nil
+}
+
+// Optimize jointly picks the query plan and the per-operator resource
+// configuration: the (p, r) mode, "useful when there are abundant or even
+// dedicated resources".
+func (o *Optimizer) Optimize(q *plan.Query) (*Decision, error) {
+	return o.run(q, o.coster(o.opts.Resource, plan.Resources{}, o.cond))
+}
+
+// OptimizeFixed is the plain QO baseline: query planning only, pricing
+// every operator at the given fixed configuration.
+func (o *Optimizer) OptimizeFixed(q *plan.Query, r plan.Resources) (*Decision, error) {
+	if !o.cond.Contains(r) {
+		return nil, fmt.Errorf("core: fixed configuration %v outside cluster conditions %v", r, o.cond)
+	}
+	return o.run(q, o.coster(nil, r, o.cond))
+}
+
+// OptimizeForBudget is the r ⇒ p mode: "in case of constrained resources,
+// e.g., with multiple tenants each having their quota, we can pick the
+// best plan for a given resource budget". The search space is intersected
+// with the tenant quota before planning.
+func (o *Optimizer) OptimizeForBudget(q *plan.Query, maxContainers int, maxContainerGB float64) (*Decision, error) {
+	restricted, err := o.cond.Restrict(maxContainers, maxContainerGB)
+	if err != nil {
+		return nil, err
+	}
+	return o.run(q, o.coster(o.opts.Resource, plan.Resources{}, restricted))
+}
+
+// PlanResources is the p ⇒ (r, c) mode: the user is happy with a given
+// plan's shape and asks only for resources (and the resulting cost). The
+// plan's operators are annotated in place.
+func (o *Optimizer) PlanResources(p *plan.Node) (*Decision, error) {
+	c := o.coster(o.opts.Resource, plan.Resources{}, o.cond)
+	before := o.opts.Resource.Evaluations()
+	start := time.Now()
+	oc, err := optimizer.PlanCost(c, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Decision{
+		Plan:               p,
+		Time:               oc.Seconds,
+		Money:              oc.Money,
+		ResourceIterations: o.opts.Resource.Evaluations() - before,
+		Elapsed:            time.Since(start),
+	}, nil
+}
+
+// OptimizeForPrice is the c ⇒ (p, r) mode: find the fastest joint plan
+// whose modeled monetary cost stays within the budget. It always uses the
+// randomized multi-objective planner to obtain a Pareto archive over
+// (time, money) and picks the fastest entry under budget.
+func (o *Optimizer) OptimizeForPrice(q *plan.Query, budget units.Dollars) (*Decision, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("core: price budget must be positive, got %v", budget)
+	}
+	c := o.coster(o.opts.Resource, plan.Resources{}, o.cond)
+	rp := &randomized.Planner{Coster: c, Opts: o.opts.Randomized, RNG: o.rng}
+	before := o.opts.Resource.Evaluations()
+	start := time.Now()
+	archive, considered, err := rp.PlanPareto(q)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	var best *randomized.ParetoEntry
+	for i := range archive {
+		e := &archive[i]
+		if e.Cost.Money > budget {
+			continue
+		}
+		if best == nil || e.Cost.Seconds < best.Cost.Seconds {
+			best = e
+		}
+	}
+	if best == nil {
+		cheapest := archive[0]
+		for _, e := range archive[1:] {
+			if e.Cost.Money < cheapest.Cost.Money {
+				cheapest = e
+			}
+		}
+		return nil, fmt.Errorf("core: no plan within budget %v (cheapest found: %v)", budget, cheapest.Cost.Money)
+	}
+	// Re-cost so the winner carries its resource annotations.
+	if _, err := optimizer.PlanCost(c, best.Plan); err != nil {
+		return nil, err
+	}
+	return &Decision{
+		Plan:               best.Plan,
+		Time:               best.Cost.Seconds,
+		Money:              best.Cost.Money,
+		PlansConsidered:    considered,
+		ResourceIterations: o.opts.Resource.Evaluations() - before,
+		Elapsed:            elapsed,
+	}, nil
+}
+
+// Reoptimize implements adaptive RAQO: when the cluster conditions change
+// between optimization and execution, re-plan under the new conditions and
+// report whether the joint plan actually changed (same plan shape and
+// resources mean the execution can proceed untouched).
+func (o *Optimizer) Reoptimize(q *plan.Query, prev *Decision, newCond cluster.Conditions) (*Decision, bool, error) {
+	if prev == nil || prev.Plan == nil {
+		return nil, false, fmt.Errorf("core: no previous decision to re-optimize")
+	}
+	if err := o.SetConditions(newCond); err != nil {
+		return nil, false, err
+	}
+	next, err := o.Optimize(q)
+	if err != nil {
+		return nil, false, err
+	}
+	changed := next.Plan.SignatureWithResources() != prev.Plan.SignatureWithResources()
+	return next, changed, nil
+}

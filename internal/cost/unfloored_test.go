@@ -1,0 +1,21 @@
+package cost
+
+import "testing"
+
+func TestUnflooredModels(t *testing.T) {
+	floored := PaperModels()
+	unfloored := PaperModelsUnfloored()
+	smjF, _ := floored.For(0)
+	smjU, _ := unfloored.For(0)
+	// At large container counts the paper's SMJ coefficients go negative.
+	if got := smjF.Cost(1, 5, 1000); got != minCost {
+		t.Errorf("floored cost = %v, want floor %v", got, minCost)
+	}
+	if got := smjU.Cost(1, 5, 1000); got >= 0 {
+		t.Errorf("unfloored cost = %v, want negative", got)
+	}
+	// In the positive region both agree.
+	if f, u := smjF.Cost(1, 3, 2), smjU.Cost(1, 3, 2); f != u {
+		t.Errorf("positive region disagrees: %v vs %v", f, u)
+	}
+}

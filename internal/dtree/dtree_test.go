@@ -1,0 +1,241 @@
+package dtree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, 2, Options{}); err == nil {
+		t.Error("empty samples accepted")
+	}
+	if _, err := Train([]Sample{{Features: []float64{1}, Label: 0}}, 1, Options{}); err == nil {
+		t.Error("single class accepted")
+	}
+	if _, err := Train([]Sample{{Features: nil, Label: 0}}, 2, Options{}); err == nil {
+		t.Error("empty features accepted")
+	}
+	ragged := []Sample{{Features: []float64{1}, Label: 0}, {Features: []float64{1, 2}, Label: 1}}
+	if _, err := Train(ragged, 2, Options{}); err == nil {
+		t.Error("ragged features accepted")
+	}
+	bad := []Sample{{Features: []float64{1}, Label: 5}}
+	if _, err := Train(bad, 2, Options{}); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+}
+
+func TestTrainSeparableData(t *testing.T) {
+	// Perfectly separable at x <= 5.
+	var samples []Sample
+	for i := 0; i < 20; i++ {
+		x := float64(i)
+		label := 0
+		if x > 5 {
+			label = 1
+		}
+		samples = append(samples, Sample{Features: []float64{x}, Label: label})
+	}
+	tree, err := Train(samples, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(tree, samples); acc != 1 {
+		t.Errorf("accuracy = %v, want 1", acc)
+	}
+	if tree.IsLeaf() {
+		t.Fatal("root should split")
+	}
+	if tree.Feature != 0 || tree.Threshold < 5 || tree.Threshold > 6 {
+		t.Errorf("split = feature %d at %v, want feature 0 in (5,6)", tree.Feature, tree.Threshold)
+	}
+	if tree.Depth() != 1 || tree.Leaves() != 2 {
+		t.Errorf("depth=%d leaves=%d, want 1/2", tree.Depth(), tree.Leaves())
+	}
+}
+
+func TestTrainXORNeedsDepth2(t *testing.T) {
+	samples := []Sample{
+		{Features: []float64{0, 0}, Label: 0},
+		{Features: []float64{0, 1}, Label: 1},
+		{Features: []float64{1, 0}, Label: 1},
+		{Features: []float64{1, 1}, Label: 0},
+	}
+	tree, err := Train(samples, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(tree, samples); acc != 1 {
+		t.Errorf("XOR accuracy = %v, want 1", acc)
+	}
+	if tree.Depth() < 2 {
+		t.Errorf("XOR depth = %d, want >= 2", tree.Depth())
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var samples []Sample
+	for i := 0; i < 200; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		label := 0
+		if x+y > 1 {
+			label = 1
+		}
+		samples = append(samples, Sample{Features: []float64{x, y}, Label: label})
+	}
+	tree, err := Train(samples, 2, Options{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tree.Depth(); d > 3 {
+		t.Errorf("depth = %d, want <= 3", d)
+	}
+}
+
+func TestMinSamplesLeaf(t *testing.T) {
+	var samples []Sample
+	for i := 0; i < 20; i++ {
+		label := 0
+		if i == 19 { // single outlier
+			label = 1
+		}
+		samples = append(samples, Sample{Features: []float64{float64(i)}, Label: label})
+	}
+	tree, err := Train(samples, 2, Options{MinSamplesLeaf: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var check func(*Tree)
+	check = func(n *Tree) {
+		if n.IsLeaf() {
+			if n.Samples < 3 {
+				t.Errorf("leaf with %d samples under MinSamplesLeaf=3", n.Samples)
+			}
+			return
+		}
+		check(n.Left)
+		check(n.Right)
+	}
+	check(tree)
+}
+
+// Property: unlimited-depth CART achieves perfect training accuracy
+// whenever no two samples share features with different labels.
+func TestPerfectFitProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		seen := map[[2]int]int{}
+		var samples []Sample
+		for i := 0; i < 100; i++ {
+			k := [2]int{rng.Intn(30), rng.Intn(30)}
+			label := rng.Intn(3)
+			if prev, ok := seen[k]; ok {
+				label = prev // keep consistent
+			} else {
+				seen[k] = label
+			}
+			samples = append(samples, Sample{
+				Features: []float64{float64(k[0]), float64(k[1])},
+				Label:    label,
+			})
+		}
+		tree, err := Train(samples, 3, Options{})
+		if err != nil {
+			return false
+		}
+		return Accuracy(tree, samples) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPruneCollapsesNoise(t *testing.T) {
+	// Mostly class 0 with a few scattered class-1 outliers: the unpruned
+	// tree memorizes them; pruning with a generous alpha collapses it.
+	rng := rand.New(rand.NewSource(3))
+	var samples []Sample
+	for i := 0; i < 200; i++ {
+		label := 0
+		if rng.Float64() < 0.05 {
+			label = 1
+		}
+		samples = append(samples, Sample{Features: []float64{rng.Float64()}, Label: label})
+	}
+	tree, err := Train(samples, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tree.Leaves()
+	tree.Prune(100)
+	if tree.Leaves() != 1 {
+		t.Errorf("leaves after aggressive prune = %d, want 1 (before: %d)", tree.Leaves(), before)
+	}
+	// Prune with alpha 0 keeps a perfect tree intact.
+	sep := []Sample{
+		{Features: []float64{0}, Label: 0},
+		{Features: []float64{1}, Label: 1},
+	}
+	tr2, err := Train(sep, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2.Prune(0)
+	if tr2.Leaves() != 2 {
+		t.Errorf("alpha=0 prune collapsed a perfect split")
+	}
+}
+
+func TestRenderContainsStats(t *testing.T) {
+	samples := []Sample{
+		{Features: []float64{0.005, 3}, Label: 0},
+		{Features: []float64{8, 3}, Label: 1},
+		{Features: []float64{0.008, 9}, Label: 0},
+		{Features: []float64{9, 9}, Label: 1},
+	}
+	tree, err := Train(samples, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tree.Render([]string{"Data Size (GB)", "Container Size"}, []string{"BHJ", "SMJ"})
+	for _, want := range []string{"Data Size (GB) <=", "gini=", "samples=", "value=", "class="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	// Unknown names fall back gracefully.
+	fallback := tree.Render(nil, nil)
+	if !strings.Contains(fallback, "x[0]") || !strings.Contains(fallback, "class0") {
+		t.Errorf("fallback rendering broken:\n%s", fallback)
+	}
+}
+
+func TestPredictPanicsOnShortFeatures(t *testing.T) {
+	samples := []Sample{
+		{Features: []float64{0, 0}, Label: 0},
+		{Features: []float64{0, 1}, Label: 1},
+	}
+	tree, err := Train(samples, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.IsLeaf() {
+		t.Skip("degenerate tree")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tree.Predict([]float64{})
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	tree := &Tree{Value: []int{1}, Samples: 1}
+	if got := Accuracy(tree, nil); got != 0 {
+		t.Errorf("empty accuracy = %v", got)
+	}
+}

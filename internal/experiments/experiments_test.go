@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := Table{Title: "demo", Columns: []string{"a", "long-column"}}
+	tbl.AddRow("1", "2")
+	out := tbl.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "long-column") {
+		t.Errorf("rendering:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, header, separator, row
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestFigureRegistryComplete(t *testing.T) {
+	ids := FigureIDs()
+	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15a", "fig15b"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("order: got %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestFigure1Headline(t *testing.T) {
+	r, err := Figure1(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First table is the summary; row 0 is the >=1x fraction.
+	sum := r.Tables[0]
+	ge1, err := strconv.ParseFloat(sum.Rows[0][1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ge4, err := strconv.ParseFloat(sum.Rows[1][1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ge1 < 0.6 {
+		t.Errorf("fraction >=1x = %v, want >= 0.6", ge1)
+	}
+	if ge4 < 0.15 {
+		t.Errorf("fraction >=4x = %v, want >= 0.15", ge4)
+	}
+}
+
+func TestFigure2Gains(t *testing.T) {
+	r, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 2 {
+		t.Fatalf("tables = %d (want hive + spark)", len(r.Tables))
+	}
+	// The gains column must reach at least 1.5x somewhere on Hive.
+	best := 0.0
+	for _, row := range r.Tables[0].Rows {
+		g, err := strconv.ParseFloat(strings.TrimSuffix(row[len(row)-1], "x"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g > best {
+			best = g
+		}
+	}
+	if best < 1.5 {
+		t.Errorf("max hive gain = %.2fx, want >= 1.5x (paper: up to 2x)", best)
+	}
+}
+
+func TestFigure3SwitchPoints(t *testing.T) {
+	r, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (a): winner flips from SMJ to BHJ as container size grows, with OOM
+	// rows first.
+	a := r.Tables[0]
+	sawOOM, sawSMJWin, sawBHJWin := false, false, false
+	for _, row := range a.Rows {
+		if row[2] == "OOM" {
+			sawOOM = true
+		}
+		switch row[3] {
+		case "SMJ":
+			sawSMJWin = true
+		case "BHJ":
+			if !sawSMJWin {
+				t.Error("BHJ should not win before SMJ at small containers")
+			}
+			sawBHJWin = true
+		}
+	}
+	if !sawOOM || !sawSMJWin || !sawBHJWin {
+		t.Errorf("fig3a missing phases: oom=%v smj=%v bhj=%v", sawOOM, sawSMJWin, sawBHJWin)
+	}
+	// (b): winner flips from BHJ to SMJ as parallelism grows.
+	b := r.Tables[1]
+	if b.Rows[0][3] != "BHJ" {
+		t.Errorf("fig3b first row winner = %s, want BHJ", b.Rows[0][3])
+	}
+	last := b.Rows[len(b.Rows)-1]
+	if last[3] != "SMJ" {
+		t.Errorf("fig3b last row winner = %s, want SMJ", last[3])
+	}
+}
+
+func TestFigure4SwitchMoves(t *testing.T) {
+	r, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := r.Tables[2]
+	get := func(i int) float64 {
+		v, err := strconv.ParseFloat(sw.Rows[i][1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	// 3GB -> 9GB containers moves the switch point up substantially.
+	if !(get(1) > get(0)+1) {
+		t.Errorf("switch should move up with container size: %v -> %v", get(0), get(1))
+	}
+	// 10 -> 40 containers moves it (direction documented).
+	if d := get(2) - get(3); d < 0.5 && d > -0.5 {
+		t.Errorf("switch should move with container count: %v vs %v", get(2), get(3))
+	}
+}
+
+func TestFigure5PlanPhases(t *testing.T) {
+	r, err := Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// orders=850MB, table (a): plan 1 OOM at small containers, then wins.
+	a := r.Tables[0]
+	sawOOM, sawWin := false, false
+	for _, row := range a.Rows {
+		if row[1] == "OOM" {
+			sawOOM = true
+			continue
+		}
+		p1, _ := strconv.ParseFloat(row[1], 64)
+		p2, _ := strconv.ParseFloat(row[2], 64)
+		if p1 < p2 {
+			sawWin = true
+		}
+	}
+	if !sawOOM || !sawWin {
+		t.Errorf("fig5a phases: oom=%v win=%v", sawOOM, sawWin)
+	}
+	// table (b): plan 2 eventually overtakes.
+	b := r.Tables[1]
+	last := b.Rows[len(b.Rows)-1]
+	p1, _ := strconv.ParseFloat(last[1], 64)
+	p2, _ := strconv.ParseFloat(last[2], 64)
+	if p2 >= p1 {
+		t.Errorf("plan 2 (%v) should beat plan 1 (%v) at 56 containers", p2, p1)
+	}
+}
+
+func TestFigure6MonetarySwitch(t *testing.T) {
+	r, err := Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := r.Tables[0]
+	// SMJ cheaper at some sizes, BHJ at others.
+	winners := map[string]bool{}
+	for _, row := range a.Rows {
+		winners[row[3]] = true
+	}
+	if !winners["SMJ"] || !winners["BHJ"] {
+		t.Errorf("fig6a winners = %v, want both", winners)
+	}
+}
+
+func TestFigure7SwitchPointsPositive(t *testing.T) {
+	r, err := Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := r.Tables[1]
+	prev := -1.0
+	for _, row := range sw.Rows[:2] { // 10x3GB then 10x9GB
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v <= prev {
+			t.Errorf("monetary switch should grow with container size: %v after %v", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestFigure9FrontiersAboveDefault(t *testing.T) {
+	r, err := Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tbl := range r.Tables {
+		var defRow []string
+		for _, row := range tbl.Rows {
+			if row[0] == "default rule" {
+				defRow = row
+			}
+		}
+		if defRow == nil {
+			t.Fatal("missing default rule row")
+		}
+		// Every combo's frontier at the largest container size exceeds the
+		// 10MB default by a wide margin.
+		for _, row := range tbl.Rows {
+			if row[0] == "default rule" {
+				continue
+			}
+			v, err := strconv.ParseFloat(row[len(row)-1], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < 0.05 {
+				t.Errorf("%s: frontier %v too close to the 10MB default", row[0], v)
+			}
+		}
+	}
+	// Spark frontiers sit below Hive's at the same combo sizes.
+	hive, spark := r.Tables[0], r.Tables[1]
+	hMax, _ := strconv.ParseFloat(hive.Rows[0][len(hive.Rows[0])-1], 64)
+	sMax, _ := strconv.ParseFloat(spark.Rows[0][len(spark.Rows[0])-1], 64)
+	if sMax >= hMax {
+		t.Errorf("spark frontier (%v) should sit below hive's (%v)", sMax, hMax)
+	}
+}
+
+func TestFigure10And11Trees(t *testing.T) {
+	f10, err := Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(f10.Notes, "\n")
+	if !strings.Contains(joined, "Data Size (GB) <= 0.009766") {
+		t.Errorf("fig10 should render the 10MB rule:\n%s", joined)
+	}
+	f11, err := Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := f11.Tables[0]
+	if len(stats.Rows) != 2 {
+		t.Fatalf("fig11 stats rows = %d", len(stats.Rows))
+	}
+	for _, row := range stats.Rows {
+		acc, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc < 0.9 {
+			t.Errorf("%s tree accuracy = %v", row[0], acc)
+		}
+		depth, err := strconv.Atoi(row[3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if depth < 2 || depth > 7 {
+			t.Errorf("%s tree depth = %d, want in [2,7]", row[0], depth)
+		}
+	}
+	trees := strings.Join(f11.Notes, "\n")
+	if !strings.Contains(trees, "Container Size (GB)") {
+		t.Error("RAQO trees should branch on resources")
+	}
+}

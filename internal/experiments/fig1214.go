@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"raqo/internal/catalog"
+	"raqo/internal/cluster"
+	"raqo/internal/core"
+	"raqo/internal/cost"
+	"raqo/internal/plan"
+	"raqo/internal/resource"
+	"raqo/internal/workload"
+)
+
+// fixedQO is the configuration the plain QO baseline prices operators at.
+var fixedQO = plan.Resources{Containers: 10, ContainerGB: 3}
+
+func ms(d time.Duration) string { return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000) }
+
+// Figure12 measures RAQO planning on the TPC-H schema: both query planners
+// (FastRandomized and Selinger), with and without per-operator resource
+// planning (hill climbing, no caching), on Q12, Q3, Q2 and the all-tables
+// join.
+func Figure12() (*Report, error) {
+	s := catalog.TPCH(100)
+	queries, err := workload.TPCHQueries(s)
+	if err != nil {
+		return nil, err
+	}
+	cond := cluster.Default()
+
+	tbl := Table{
+		Title:   "planner performance on TPC-H (hill-climb resource planning, no cache)",
+		Columns: []string{"query", "planner", "mode", "runtime (ms)", "plans considered", "resource iterations"},
+	}
+	// Planner-performance experiments run the paper's published models the
+	// way the paper ran them: unfloored (see cost.Regression.Unfloored).
+	models := cost.PaperModelsUnfloored()
+	var notes []string
+	for _, kind := range []core.PlannerKind{core.FastRandomized, core.Selinger} {
+		for _, name := range workload.QueryNames {
+			q := queries[name]
+			// QO baseline: fixed resources.
+			qo, err := core.New(cond, core.Options{Planner: kind, Seed: 1, Models: models})
+			if err != nil {
+				return nil, err
+			}
+			base, err := qo.OptimizeFixed(q, fixedQO)
+			if err != nil {
+				return nil, err
+			}
+			tbl.AddRow(name, kind.String(), "QO", ms(base.Elapsed),
+				fmt.Sprintf("%d", base.PlansConsidered), "0")
+
+			// RAQO: hill-climbing per candidate operator.
+			raqo, err := core.New(cond, core.Options{Planner: kind, Seed: 1, Models: models, Resource: &resource.HillClimb{}})
+			if err != nil {
+				return nil, err
+			}
+			joint, err := raqo.Optimize(q)
+			if err != nil {
+				return nil, err
+			}
+			tbl.AddRow(name, kind.String(), "RAQO", ms(joint.Elapsed),
+				fmt.Sprintf("%d", joint.PlansConsidered),
+				fmt.Sprintf("%d", joint.ResourceIterations))
+			if name == workload.All {
+				notes = append(notes, fmt.Sprintf("%s/All explored %d resource configurations jointly with query planning",
+					kind, joint.ResourceIterations))
+			}
+		}
+	}
+	return &Report{
+		ID:     "fig12",
+		Title:  "RAQO planning on the TPC-H schema",
+		Tables: []Table{tbl},
+		Notes: append(notes,
+			"paper: both plans emitted within milliseconds; resource planning adds overhead (>0.5M configurations for FastRandomized All, >50M for Selinger brute force)"),
+	}, nil
+}
+
+// Figure13 compares hill climbing with brute force resource planning: the
+// number of resource configurations explored and the planner runtime per
+// TPC-H query (Selinger planning).
+func Figure13() (*Report, error) {
+	s := catalog.TPCH(100)
+	queries, err := workload.TPCHQueries(s)
+	if err != nil {
+		return nil, err
+	}
+	cond := cluster.Default()
+
+	iter := Table{
+		Title:   "(a) resource configurations explored",
+		Columns: []string{"query", "brute force", "hill climbing", "reduction"},
+	}
+	rt := Table{
+		Title:   "(b) planner runtime (ms)",
+		Columns: []string{"query", "brute force", "hill climbing"},
+	}
+	var worst float64 = 1e18
+	models := cost.PaperModelsUnfloored()
+	for _, name := range workload.QueryNames {
+		q := queries[name]
+		bf := &resource.BruteForce{}
+		oBF, err := core.New(cond, core.Options{Models: models, Resource: bf})
+		if err != nil {
+			return nil, err
+		}
+		dBF, err := oBF.Optimize(q)
+		if err != nil {
+			return nil, err
+		}
+		hc := &resource.HillClimb{}
+		oHC, err := core.New(cond, core.Options{Models: models, Resource: hc})
+		if err != nil {
+			return nil, err
+		}
+		dHC, err := oHC.Optimize(q)
+		if err != nil {
+			return nil, err
+		}
+		red := float64(dBF.ResourceIterations) / float64(dHC.ResourceIterations)
+		if red < worst {
+			worst = red
+		}
+		iter.AddRow(name,
+			fmt.Sprintf("%d", dBF.ResourceIterations),
+			fmt.Sprintf("%d", dHC.ResourceIterations),
+			f1(red)+"x")
+		rt.AddRow(name, ms(dBF.Elapsed), ms(dHC.Elapsed))
+	}
+	return &Report{
+		ID:     "fig13",
+		Title:  "Hill climbing vs brute force on the TPC-H schema",
+		Tables: []Table{iter, rt},
+		Notes: []string{
+			fmt.Sprintf("minimum reduction across queries: %.1fx", worst),
+			"paper: hill climbing explores ~4x fewer resource configurations, with matching runtime gains",
+		},
+	}, nil
+}
+
+// fig14Thresholds is the data-delta sweep of Figure 14.
+var fig14Thresholds = []float64{0, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1}
+
+// Figure14 measures the resource-plan cache on the TPC-H All query:
+// hill climbing alone vs the nearest-neighbor and weighted-average cache
+// variants over the data-delta threshold.
+func Figure14() (*Report, error) {
+	s := catalog.TPCH(100)
+	q, err := workload.TPCHQuery(s, workload.All)
+	if err != nil {
+		return nil, err
+	}
+	cond := cluster.Default()
+
+	iter := Table{
+		Title:   "(a) resource configurations explored, TPC-H All",
+		Columns: []string{"delta threshold (GB)", "HillClimbing", "HC+Cache_NN", "HC+Cache_WA"},
+	}
+	rt := Table{
+		Title:   "(b) planner runtime (ms), TPC-H All",
+		Columns: []string{"delta threshold (GB)", "HillClimbing", "HC+Cache_NN", "HC+Cache_WA"},
+	}
+
+	// The randomized planner re-prices whole plans after every mutation, so
+	// near-identical intermediate sizes recur constantly — exactly the
+	// access pattern the cache's proximity lookups exploit.
+	models := cost.PaperModelsUnfloored()
+	run := func(rp resource.Planner) (*core.Decision, error) {
+		o, err := core.New(cond, core.Options{Planner: core.FastRandomized, Seed: 5, Models: models, Resource: rp})
+		if err != nil {
+			return nil, err
+		}
+		return o.Optimize(q)
+	}
+
+	for _, th := range fig14Thresholds {
+		plain, err := run(&resource.HillClimb{})
+		if err != nil {
+			return nil, err
+		}
+		nn, err := run(&resource.Cache{Inner: &resource.HillClimb{}, Mode: resource.NearestNeighbor, ThresholdGB: th})
+		if err != nil {
+			return nil, err
+		}
+		wa, err := run(&resource.Cache{Inner: &resource.HillClimb{}, Mode: resource.WeightedAverage, ThresholdGB: th})
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("%g", th)
+		iter.AddRow(label,
+			fmt.Sprintf("%d", plain.ResourceIterations),
+			fmt.Sprintf("%d", nn.ResourceIterations),
+			fmt.Sprintf("%d", wa.ResourceIterations))
+		rt.AddRow(label, ms(plain.Elapsed), ms(nn.Elapsed), ms(wa.Elapsed))
+	}
+	return &Report{
+		ID:     "fig14",
+		Title:  "Effectiveness of resource-plan caching on the TPC-H schema",
+		Tables: []Table{iter, rt},
+		Notes: []string{
+			"cache cleared before each run; exact matches hit at every threshold, proximity matches grow with the threshold",
+			"paper: caching becomes more effective as the interpolation threshold grows; up to ~10x planner-time reduction at 0.1GB",
+		},
+	}, nil
+}

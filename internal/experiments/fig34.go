@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"raqo/internal/execsim"
+	"raqo/internal/plan"
+)
+
+// joinRow formats one SMJ-vs-BHJ comparison, marking OOM configurations.
+func joinRow(engine execsim.Params, ss, ls float64, r plan.Resources) (smj, bhj string, winner string) {
+	s, err := engine.JoinTime(plan.SMJ, ss, ls, r)
+	if err != nil {
+		return "err", "err", "-"
+	}
+	b, err := engine.JoinTime(plan.BHJ, ss, ls, r)
+	if err != nil {
+		return f1(s), "OOM", plan.SMJ.String()
+	}
+	w := plan.SMJ
+	if b < s {
+		w = plan.BHJ
+	}
+	return f1(s), f1(b), w.String()
+}
+
+// Figure3 compares BHJ and SMJ over varying resources with fixed data:
+// (a) container size 2-10 GB at 10 containers with a 5.1 GB build side;
+// (b) 5-45 containers at 5 GB with a 3.4 GB build side.
+func Figure3() (*Report, error) {
+	engine := execsim.Hive()
+	const ls = 77.0
+
+	a := Table{
+		Title:   "(a) varying container size: ss=5.1GB, ls=77GB, 10 containers",
+		Columns: []string{"container GB", "SMJ (s)", "BHJ (s)", "winner"},
+	}
+	for cs := 2.0; cs <= 10; cs++ {
+		s, b, w := joinRow(engine, 5.1, ls, plan.Resources{Containers: 10, ContainerGB: cs})
+		a.AddRow(f1(cs), s, b, w)
+	}
+
+	b := Table{
+		Title:   "(b) varying concurrent containers: ss=3.4GB, ls=77GB, 5GB containers",
+		Columns: []string{"containers", "SMJ (s)", "BHJ (s)", "winner"},
+	}
+	for nc := 5; nc <= 45; nc += 5 {
+		s, bb, w := joinRow(engine, 3.4, ls, plan.Resources{Containers: nc, ContainerGB: 5})
+		b.AddRow(f1(float64(nc)), s, bb, w)
+	}
+
+	return &Report{
+		ID:     "fig3",
+		Title:  "Comparing BHJ and SMJ over varying resources in Hive",
+		Tables: []Table{a, b},
+		Notes: []string{
+			"paper: switch point at ~7GB containers; BHJ OOM below 5GB; switch at ~20 containers; SMJ ~2x faster at 40",
+		},
+	}, nil
+}
+
+// Figure4 shows that the BHJ/SMJ switch point over the smaller relation's
+// size moves with the resources: (a) two container sizes, (b) two container
+// counts.
+func Figure4() (*Report, error) {
+	engine := execsim.Hive()
+	const ls = 77.0
+
+	a := Table{
+		Title:   "(a) execution time over smaller-relation size, 10 containers",
+		Columns: []string{"ss (GB)", "SMJ@3GB", "BHJ@3GB", "SMJ@9GB", "BHJ@9GB"},
+	}
+	for _, ss := range []float64{0.4, 0.85, 1.7, 2.5, 3.4, 4.25, 5.1, 6.4, 8, 10, 12} {
+		s3, b3, _ := joinRow(engine, ss, ls, plan.Resources{Containers: 10, ContainerGB: 3})
+		s9, b9, _ := joinRow(engine, ss, ls, plan.Resources{Containers: 10, ContainerGB: 9})
+		a.AddRow(f2(ss), s3, b3, s9, b9)
+	}
+
+	b := Table{
+		Title:   "(b) execution time over smaller-relation size, 6GB containers",
+		Columns: []string{"ss (GB)", "SMJ@10cont", "BHJ@10cont", "SMJ@40cont", "BHJ@40cont"},
+	}
+	for _, ss := range []float64{0.4, 0.85, 1.7, 2.5, 3.4, 4.25, 5.1, 6.4} {
+		s10, b10, _ := joinRow(engine, ss, ls, plan.Resources{Containers: 10, ContainerGB: 6})
+		s40, b40, _ := joinRow(engine, ss, ls, plan.Resources{Containers: 40, ContainerGB: 6})
+		b.AddRow(f2(ss), s10, b10, s40, b40)
+	}
+
+	sw := Table{
+		Title:   "switch points (largest ss where BHJ still wins)",
+		Columns: []string{"configuration", "switch point (GB)"},
+	}
+	for _, c := range []struct {
+		label string
+		r     plan.Resources
+	}{
+		{"10 containers x 3GB", plan.Resources{Containers: 10, ContainerGB: 3}},
+		{"10 containers x 9GB", plan.Resources{Containers: 10, ContainerGB: 9}},
+		{"10 containers x 6GB", plan.Resources{Containers: 10, ContainerGB: 6}},
+		{"40 containers x 6GB", plan.Resources{Containers: 40, ContainerGB: 6}},
+	} {
+		sw.AddRow(c.label, f2(engine.SwitchPoint(ls, c.r, 0.05, 12)))
+	}
+
+	return &Report{
+		ID:     "fig4",
+		Title:  "BHJ/SMJ switch points over varying data size in Hive",
+		Tables: []Table{a, b, sw},
+		Notes: []string{
+			"paper: switch at 3.4GB with 3GB containers -> 6.4GB with 9GB containers (we measure ~2.3 -> ~6.2)",
+			"paper's fig 4(b) moves the switch up with container count under a concurrently-varied setup; our simulator, consistent with fig 3(b), moves it down — the headline (switch points move with resources) holds either way; see EXPERIMENTS.md",
+		},
+	}, nil
+}

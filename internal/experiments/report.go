@@ -1,0 +1,130 @@
+// Package experiments regenerates every figure of the paper's evaluation:
+// one entry point per figure, each returning the same rows/series the paper
+// plots, rendered as aligned text tables. The per-experiment index in
+// DESIGN.md maps each figure to the modules involved; EXPERIMENTS.md
+// records paper-vs-measured outcomes.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is one rendered series of an experiment.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Report is the output of one figure regeneration.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []Table
+	Notes  []string
+}
+
+// String renders the full report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n\n", r.ID, r.Title)
+	for i := range r.Tables {
+		b.WriteString(r.Tables[i].String())
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner regenerates one figure.
+type Runner func() (*Report, error)
+
+// Figures returns the registry of every reproducible figure, keyed by id
+// (e.g. "fig3"). Keys are stable; All() lists them in paper order.
+func Figures() map[string]Runner {
+	return map[string]Runner{
+		"fig1":   func() (*Report, error) { return Figure1(42) },
+		"fig2":   Figure2,
+		"fig3":   Figure3,
+		"fig4":   Figure4,
+		"fig5":   Figure5,
+		"fig6":   Figure6,
+		"fig7":   Figure7,
+		"fig9":   Figure9,
+		"fig10":  Figure10,
+		"fig11":  Figure11,
+		"fig12":  Figure12,
+		"fig13":  Figure13,
+		"fig14":  Figure14,
+		"fig15a": Figure15a,
+		"fig15b": Figure15b,
+	}
+}
+
+// FigureIDs lists the registry keys in paper order.
+func FigureIDs() []string {
+	ids := make([]string, 0, len(Figures()))
+	for id := range Figures() {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return figOrder(ids[i]) < figOrder(ids[j]) })
+	return ids
+}
+
+func figOrder(id string) int {
+	order := map[string]int{
+		"fig1": 1, "fig2": 2, "fig3": 3, "fig4": 4, "fig5": 5, "fig6": 6,
+		"fig7": 7, "fig9": 9, "fig10": 10, "fig11": 11, "fig12": 12,
+		"fig13": 13, "fig14": 14, "fig15a": 15, "fig15b": 16,
+	}
+	return order[id]
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }

@@ -1,0 +1,216 @@
+// Package optimizer defines the interfaces shared by the query planners and
+// the tree-manipulation utilities (random plan generation and the
+// associativity/exchange mutations of Steinbrunn et al.) used by the
+// randomized planner.
+//
+// The key abstraction is OperatorCoster: the per-operator costing hook that
+// both planners call while enumerating candidate sub-plans. This is exactly
+// the paper's integration point — "we extended the getPlanCost method of our
+// cost model to first perform the resource planning ... and then return the
+// sub-plan cost" — so plugging resource planning into either planner means
+// swapping the coster, not the planner.
+package optimizer
+
+import (
+	"fmt"
+	"math/rand"
+
+	"raqo/internal/catalog"
+	"raqo/internal/plan"
+	"raqo/internal/units"
+)
+
+// OpCost is the multi-objective cost of one join operator at the resources
+// the coster chose for it.
+type OpCost struct {
+	Seconds float64
+	Money   units.Dollars
+}
+
+// Add accumulates another operator's cost.
+func (c OpCost) Add(o OpCost) OpCost {
+	return OpCost{Seconds: c.Seconds + o.Seconds, Money: c.Money + o.Money}
+}
+
+// OperatorCoster prices a single join operator. Implementations may
+// annotate the operator's Res field with the resource configuration they
+// chose (the RAQO coster does; the plain QO coster uses a fixed
+// configuration).
+type OperatorCoster interface {
+	CostOperator(j *plan.Node) (OpCost, error)
+}
+
+// PlanCost prices a whole plan by summing its join operators, invoking the
+// coster bottom-up (so resource annotations are in place before parents are
+// priced).
+func PlanCost(c OperatorCoster, root *plan.Node) (OpCost, error) {
+	var total OpCost
+	for _, j := range root.Joins() {
+		oc, err := c.CostOperator(j)
+		if err != nil {
+			return OpCost{}, err
+		}
+		total = total.Add(oc)
+	}
+	return total, nil
+}
+
+// Result is the outcome of query planning.
+type Result struct {
+	Plan *plan.Node
+	Cost OpCost
+	// PlansConsidered counts the candidate (sub-)plans the planner priced.
+	PlansConsidered int
+}
+
+// Planner is a query planner: given a logical query, produce a physical
+// plan with per-operator resource annotations (left to the coster).
+type Planner interface {
+	Plan(q *plan.Query) (*Result, error)
+}
+
+// RandomTree builds a uniformly random bushy join tree for the query: it
+// repeatedly joins two random joinable connected components with a random
+// operator implementation. Used to seed the randomized planner.
+func RandomTree(rng *rand.Rand, q *plan.Query) (*plan.Node, error) {
+	comps := make([]*plan.Node, len(q.Rels))
+	for i, r := range q.Rels {
+		leaf, err := plan.NewScan(q.Schema, r)
+		if err != nil {
+			return nil, err
+		}
+		comps[i] = leaf
+	}
+	for len(comps) > 1 {
+		// Collect joinable component pairs.
+		type pair struct{ a, b int }
+		var pairs []pair
+		for i := 0; i < len(comps); i++ {
+			for j := i + 1; j < len(comps); j++ {
+				if componentsJoinable(q.Schema, comps[i], comps[j]) {
+					pairs = append(pairs, pair{i, j})
+				}
+			}
+		}
+		if len(pairs) == 0 {
+			return nil, fmt.Errorf("optimizer: query relations not connected")
+		}
+		p := pairs[rng.Intn(len(pairs))]
+		algo := plan.Algos[rng.Intn(len(plan.Algos))]
+		joined, err := plan.NewJoin(q.Schema, algo, comps[p.a], comps[p.b])
+		if err != nil {
+			return nil, err
+		}
+		// Replace a, remove b.
+		comps[p.a] = joined
+		comps[p.b] = comps[len(comps)-1]
+		comps = comps[:len(comps)-1]
+	}
+	return comps[0], nil
+}
+
+func componentsJoinable(s *catalog.Schema, a, b *plan.Node) bool {
+	for _, x := range a.Relations() {
+		for _, y := range b.Relations() {
+			if s.Joinable(x, y) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Mutation is a local plan transformation used by randomized search.
+type Mutation int
+
+// Mutations: the exchange and associativity rules of Steinbrunn et al.,
+// plus flipping the operator implementation (needed because RAQO's search
+// space includes physical operator choice).
+const (
+	Exchange Mutation = iota // commute the children of a join
+	AssocLeft
+	AssocRight
+	FlipAlgo
+)
+
+// Mutations lists all mutation kinds.
+var Mutations = []Mutation{Exchange, AssocLeft, AssocRight, FlipAlgo}
+
+// Mutate applies a random mutation at a random join node, returning the new
+// tree. ok is false when the chosen mutation is inapplicable at the chosen
+// node (the caller simply retries); the input tree is never modified.
+func Mutate(rng *rand.Rand, s *catalog.Schema, root *plan.Node) (*plan.Node, bool) {
+	joins := root.Joins()
+	if len(joins) == 0 {
+		return nil, false
+	}
+	target := joins[rng.Intn(len(joins))]
+	m := Mutations[rng.Intn(len(Mutations))]
+	out, err := rebuild(s, root, target, m)
+	if err != nil || out == nil {
+		return nil, false
+	}
+	return out, true
+}
+
+// rebuild copies root, replacing target with its transformed version; nodes
+// off the path to target are shared (they are immutable apart from Res,
+// which planners reassign anyway).
+func rebuild(s *catalog.Schema, n, target *plan.Node, m Mutation) (*plan.Node, error) {
+	if n == target {
+		return transform(s, n, m)
+	}
+	if n.IsScan() {
+		return n, nil
+	}
+	left, err := rebuild(s, n.Left, target, m)
+	if err != nil || left == nil {
+		return left, err
+	}
+	right, err := rebuild(s, n.Right, target, m)
+	if err != nil || right == nil {
+		return right, err
+	}
+	if left == n.Left && right == n.Right {
+		return n, nil
+	}
+	return plan.NewJoin(s, n.Algo, left, right)
+}
+
+// transform applies the mutation at node j; returns (nil, nil) when
+// inapplicable.
+func transform(s *catalog.Schema, j *plan.Node, m Mutation) (*plan.Node, error) {
+	switch m {
+	case Exchange:
+		return plan.NewJoin(s, j.Algo, j.Right, j.Left)
+	case FlipAlgo:
+		other := plan.SMJ
+		if j.Algo == plan.SMJ {
+			other = plan.BHJ
+		}
+		return plan.NewJoin(s, other, j.Left, j.Right)
+	case AssocLeft:
+		// (A ⋈ B) ⋈ C  ->  A ⋈ (B ⋈ C)
+		if j.Left.IsScan() {
+			return nil, nil
+		}
+		a, b, c := j.Left.Left, j.Left.Right, j.Right
+		bc, err := plan.NewJoin(s, j.Left.Algo, b, c)
+		if err != nil {
+			return nil, nil // B-C not joinable: inapplicable, not an error
+		}
+		return plan.NewJoin(s, j.Algo, a, bc)
+	case AssocRight:
+		// A ⋈ (B ⋈ C)  ->  (A ⋈ B) ⋈ C
+		if j.Right.IsScan() {
+			return nil, nil
+		}
+		a, b, c := j.Left, j.Right.Left, j.Right.Right
+		ab, err := plan.NewJoin(s, j.Right.Algo, a, b)
+		if err != nil {
+			return nil, nil
+		}
+		return plan.NewJoin(s, j.Algo, ab, c)
+	}
+	return nil, fmt.Errorf("optimizer: unknown mutation %d", int(m))
+}

@@ -1,0 +1,43 @@
+// Package optimizertest provides simple OperatorCoster implementations for
+// exercising the query planners in tests without pulling in the full RAQO
+// resource-planning stack.
+package optimizertest
+
+import (
+	"errors"
+
+	"raqo/internal/optimizer"
+	"raqo/internal/plan"
+	"raqo/internal/units"
+)
+
+// SizeCoster prices a join by its input and output sizes (a C_out-style
+// cost), annotating every operator with a fixed resource configuration. It
+// is deterministic and makes join order matter, which is what planner tests
+// need.
+type SizeCoster struct {
+	Res   plan.Resources
+	Calls int
+}
+
+// CostOperator implements optimizer.OperatorCoster.
+func (c *SizeCoster) CostOperator(j *plan.Node) (optimizer.OpCost, error) {
+	c.Calls++
+	j.Res = c.Res
+	secs := j.SmallerInputGB() + j.LargerInputGB() + j.OutputGB()
+	return optimizer.OpCost{
+		Seconds: secs,
+		Money:   units.Dollars(secs * c.Res.TotalGB() * 1e-5),
+	}, nil
+}
+
+// ErrCost is returned by FailingCoster.
+var ErrCost = errors.New("optimizertest: costing failed")
+
+// FailingCoster always errors, for planner error paths.
+type FailingCoster struct{}
+
+// CostOperator implements optimizer.OperatorCoster.
+func (FailingCoster) CostOperator(*plan.Node) (optimizer.OpCost, error) {
+	return optimizer.OpCost{}, ErrCost
+}

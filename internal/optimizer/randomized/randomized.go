@@ -1,0 +1,148 @@
+// Package randomized implements a fast randomized multi-objective query
+// planner in the style of Trummer and Koch (SIGMOD 2016): randomized local
+// search over bushy join trees using the associativity and exchange
+// mutations of Steinbrunn et al., maintaining an archive of plans that are
+// Pareto-optimal within a target approximation precision over (execution
+// time, monetary cost).
+package randomized
+
+import (
+	"fmt"
+	"math/rand"
+
+	"raqo/internal/cost"
+	"raqo/internal/optimizer"
+	"raqo/internal/plan"
+)
+
+// Options configures the planner. Zero values select the paper's defaults.
+type Options struct {
+	// Iterations is the number of improvement rounds; the paper "ran all
+	// query planning for a default of 10 iterations".
+	Iterations int
+	// Seeds is the number of random initial plans.
+	Seeds int
+	// Epsilon is the target approximation precision of the Pareto archive:
+	// a candidate is discarded if an archived plan (1+Epsilon)-dominates it.
+	Epsilon float64
+	// MutationsPerPlan bounds mutation retries per archived plan per round.
+	MutationsPerPlan int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Iterations <= 0 {
+		o.Iterations = 10
+	}
+	if o.Seeds <= 0 {
+		o.Seeds = 10
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = 0.1
+	}
+	if o.MutationsPerPlan <= 0 {
+		o.MutationsPerPlan = 4
+	}
+	return o
+}
+
+// Planner is the fast randomized multi-objective planner.
+type Planner struct {
+	Coster optimizer.OperatorCoster
+	Opts   Options
+	// RNG is the source of randomness; required for reproducible planning.
+	RNG *rand.Rand
+}
+
+// ParetoEntry is one archived plan with its cost vector.
+type ParetoEntry struct {
+	Plan *plan.Node
+	Cost optimizer.OpCost
+}
+
+func vec(c optimizer.OpCost) cost.Vector { return cost.Vector{Time: c.Seconds, Money: c.Money} }
+
+// PlanPareto runs the randomized search and returns the approximate Pareto
+// archive plus the number of candidate plans priced.
+func (p *Planner) PlanPareto(q *plan.Query) ([]ParetoEntry, int, error) {
+	if p.Coster == nil {
+		return nil, 0, fmt.Errorf("randomized: nil coster")
+	}
+	if p.RNG == nil {
+		return nil, 0, fmt.Errorf("randomized: nil RNG")
+	}
+	opts := p.Opts.withDefaults()
+
+	var archive []ParetoEntry
+	considered := 0
+	insert := func(n *plan.Node) error {
+		oc, err := optimizer.PlanCost(p.Coster, n)
+		if err != nil {
+			return nil // infeasible candidate (e.g. OOM everywhere): skip
+		}
+		considered++
+		cv := vec(oc)
+		for _, e := range archive {
+			if vec(e.Cost).DominatesApprox(cv, opts.Epsilon) {
+				return nil
+			}
+		}
+		kept := archive[:0]
+		for _, e := range archive {
+			if !cv.Dominates(vec(e.Cost)) {
+				kept = append(kept, e)
+			}
+		}
+		archive = append(kept, ParetoEntry{Plan: n, Cost: oc})
+		return nil
+	}
+
+	for i := 0; i < opts.Seeds; i++ {
+		t, err := optimizer.RandomTree(p.RNG, q)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := insert(t); err != nil {
+			return nil, 0, err
+		}
+	}
+	if len(archive) == 0 {
+		return nil, considered, fmt.Errorf("randomized: no feasible seed plan for %v", q.Rels)
+	}
+
+	for it := 0; it < opts.Iterations; it++ {
+		snapshot := append([]ParetoEntry(nil), archive...)
+		for _, e := range snapshot {
+			for m := 0; m < opts.MutationsPerPlan; m++ {
+				mut, ok := optimizer.Mutate(p.RNG, q.Schema, e.Plan)
+				if !ok {
+					continue
+				}
+				if err := insert(mut); err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+	}
+	return archive, considered, nil
+}
+
+// Plan returns the archived plan with the lowest execution time — the
+// single-objective view used when comparing against Selinger.
+func (p *Planner) Plan(q *plan.Query) (*optimizer.Result, error) {
+	archive, considered, err := p.PlanPareto(q)
+	if err != nil {
+		return nil, err
+	}
+	best := archive[0]
+	for _, e := range archive[1:] {
+		if e.Cost.Seconds < best.Cost.Seconds {
+			best = e
+		}
+	}
+	// Re-cost the winner so its operators carry their final resource
+	// annotations (mutated subtrees are rebuilt without Res).
+	if _, err := optimizer.PlanCost(p.Coster, best.Plan); err != nil {
+		return nil, err
+	}
+	return &optimizer.Result{Plan: best.Plan, Cost: best.Cost, PlansConsidered: considered}, nil
+}

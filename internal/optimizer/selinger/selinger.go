@@ -1,0 +1,186 @@
+// Package selinger implements the classic System R bottom-up dynamic
+// programming join-ordering algorithm over left-deep trees (Selinger et
+// al., SIGMOD 1979), with the per-operator costing hook that lets RAQO plug
+// resource planning into the enumeration.
+package selinger
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"raqo/internal/optimizer"
+	"raqo/internal/plan"
+)
+
+// MaxRelations bounds the DP: the table is O(2^n). Queries beyond this are
+// for the randomized planner (the paper uses Selinger on TPC-H and the
+// randomized planner for the 100-table scaling experiments).
+const MaxRelations = 22
+
+// Planner is a Selinger-style left-deep query planner.
+type Planner struct {
+	// Coster prices each candidate join operator (and, in RAQO mode, plans
+	// its resources). Required.
+	Coster optimizer.OperatorCoster
+}
+
+type entry struct {
+	node *plan.Node
+	cost optimizer.OpCost
+}
+
+// Plan runs the DP and returns the cheapest (by time) left-deep plan.
+func (p *Planner) Plan(q *plan.Query) (*optimizer.Result, error) {
+	if p.Coster == nil {
+		return nil, fmt.Errorf("selinger: nil coster")
+	}
+	n := len(q.Rels)
+	if n > MaxRelations {
+		return nil, fmt.Errorf("selinger: %d relations exceeds the DP limit of %d; use the randomized planner", n, MaxRelations)
+	}
+	leaves := make([]*plan.Node, n)
+	for i, r := range q.Rels {
+		leaf, err := plan.NewScan(q.Schema, r)
+		if err != nil {
+			return nil, err
+		}
+		leaves[i] = leaf
+	}
+
+	best := make(map[uint32]*entry, 1<<uint(n))
+	for i := 0; i < n; i++ {
+		best[1<<uint(i)] = &entry{node: leaves[i]}
+	}
+	considered := 0
+
+	full := uint32(1)<<uint(n) - 1
+	for size := 2; size <= n; size++ {
+		for mask := uint32(1); mask <= full; mask++ {
+			if bits.OnesCount32(mask) != size {
+				continue
+			}
+			var bestE *entry
+			for sub := mask; sub != 0; sub &= sub - 1 {
+				i := bits.TrailingZeros32(sub)
+				rest := mask &^ (1 << uint(i))
+				prev, ok := best[rest]
+				if !ok {
+					continue // disconnected prefix
+				}
+				for _, algo := range plan.Algos {
+					j, err := plan.NewJoin(q.Schema, algo, prev.node, leaves[i])
+					if err != nil {
+						continue // cross product: relation i not joinable with rest
+					}
+					oc, err := p.Coster.CostOperator(j)
+					if err != nil {
+						continue // e.g. no feasible resources for this operator
+					}
+					considered++
+					total := prev.cost.Add(oc)
+					if bestE == nil || total.Seconds < bestE.cost.Seconds {
+						bestE = &entry{node: j, cost: total}
+					}
+				}
+			}
+			if bestE != nil {
+				best[mask] = bestE
+			}
+		}
+	}
+	e, ok := best[full]
+	if !ok {
+		return nil, fmt.Errorf("selinger: no feasible plan for %v", q.Rels)
+	}
+	return &optimizer.Result{Plan: e.node, Cost: e.cost, PlansConsidered: considered}, nil
+}
+
+// Exhaustive enumerates every left-deep join order and operator combination
+// and returns the global optimum. It is exponential-factorial and intended
+// only for validating the DP in tests and ablations (n <= ~7).
+func Exhaustive(coster optimizer.OperatorCoster, q *plan.Query) (*optimizer.Result, error) {
+	n := len(q.Rels)
+	if n > 7 {
+		return nil, fmt.Errorf("selinger: exhaustive search limited to 7 relations, got %d", n)
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	bestCost := math.Inf(1)
+	var best *plan.Node
+	var bestOC optimizer.OpCost
+	considered := 0
+
+	algosFor := func(k int) [][]plan.JoinAlgo {
+		// all algo assignments for k joins
+		out := [][]plan.JoinAlgo{{}}
+		for i := 0; i < k; i++ {
+			var next [][]plan.JoinAlgo
+			for _, pfx := range out {
+				for _, a := range plan.Algos {
+					row := append(append([]plan.JoinAlgo(nil), pfx...), a)
+					next = append(next, row)
+				}
+			}
+			out = next
+		}
+		return out
+	}
+	assignments := algosFor(n - 1)
+
+	var permute func(k int) error
+	permute = func(k int) error {
+		if k == n {
+			for _, algos := range assignments {
+				cur, err := plan.NewScan(q.Schema, q.Rels[perm[0]])
+				if err != nil {
+					return err
+				}
+				valid := true
+				for i := 1; i < n && valid; i++ {
+					leaf, err := plan.NewScan(q.Schema, q.Rels[perm[i]])
+					if err != nil {
+						return err
+					}
+					j, err := plan.NewJoin(q.Schema, algos[i-1], cur, leaf)
+					if err != nil {
+						valid = false
+						break
+					}
+					cur = j
+				}
+				if !valid {
+					continue
+				}
+				oc, err := optimizer.PlanCost(coster, cur)
+				if err != nil {
+					continue
+				}
+				considered++
+				if oc.Seconds < bestCost {
+					bestCost = oc.Seconds
+					best = cur
+					bestOC = oc
+				}
+			}
+			return nil
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			if err := permute(k + 1); err != nil {
+				return err
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return nil
+	}
+	if err := permute(0); err != nil {
+		return nil, err
+	}
+	if best == nil {
+		return nil, fmt.Errorf("selinger: exhaustive found no feasible plan")
+	}
+	return &optimizer.Result{Plan: best, Cost: bestOC, PlansConsidered: considered}, nil
+}

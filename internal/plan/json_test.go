@@ -1,0 +1,109 @@
+package plan
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"raqo/internal/catalog"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := catalog.TPCH(100)
+	p, err := LeftDeep(s, BHJ, catalog.Lineitem, catalog.Orders, catalog.Customer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range p.Joins() {
+		j.Res = Resources{Containers: 12, ContainerGB: 7}
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(s, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SignatureWithResources() != p.SignatureWithResources() {
+		t.Errorf("round trip changed the plan:\n%s\nvs\n%s", p, back)
+	}
+	// Statistics are re-derived, not serialized.
+	if back.Rows() != p.Rows() || back.Bytes() != p.Bytes() {
+		t.Error("round trip lost statistics")
+	}
+	if !strings.Contains(string(data), `"algo":"BHJ"`) {
+		t.Errorf("wire form: %s", data)
+	}
+}
+
+func TestJSONScanOnly(t *testing.T) {
+	s := catalog.TPCH(1)
+	scan, err := NewScan(s, catalog.Orders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(s, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.IsScan() || back.Table != catalog.Orders {
+		t.Errorf("decoded %v", back)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	s := catalog.TPCH(1)
+	cases := []string{
+		`not json`,
+		`{"table":"ghost"}`,
+		`{"algo":"XXX","left":{"table":"orders"},"right":{"table":"lineitem"}}`,
+		`{"algo":"SMJ","left":{"table":"customer"},"right":{"table":"part"}}`, // cross product
+		`{"algo":"SMJ","left":{"table":"orders"}}`,                            // missing child
+		`{"table":"orders","left":{"table":"lineitem"}}`,                      // scan with child
+	}
+	for _, c := range cases {
+		if _, err := Decode(s, []byte(c)); err == nil {
+			t.Errorf("decoded invalid input %q", c)
+		}
+	}
+}
+
+// Property: random valid trees round-trip to identical signatures.
+func TestJSONRoundTripProperty(t *testing.T) {
+	s := catalog.TPCH(10)
+	rels := []string{catalog.Lineitem, catalog.Orders, catalog.Customer, catalog.Nation, catalog.Region}
+	f := func(seed int64, algoBits uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		_ = rng
+		algo := SMJ
+		if algoBits%2 == 1 {
+			algo = BHJ
+		}
+		p, err := LeftDeep(s, algo, rels...)
+		if err != nil {
+			return false
+		}
+		for i, j := range p.Joins() {
+			j.Res = Resources{Containers: 1 + i, ContainerGB: float64(1 + int(algoBits)%9)}
+		}
+		data, err := json.Marshal(p)
+		if err != nil {
+			return false
+		}
+		back, err := Decode(s, data)
+		if err != nil {
+			return false
+		}
+		return back.SignatureWithResources() == p.SignatureWithResources()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,404 @@
+// Package plan defines logical queries and physical plan trees for the RAQO
+// optimizer, together with cardinality and size estimation over a catalog
+// join graph, and the per-operator resource annotations that make a plan a
+// joint query/resource plan.
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"raqo/internal/catalog"
+	"raqo/internal/units"
+)
+
+// JoinAlgo is a physical join operator implementation. The paper studies
+// Hive's two stable implementations: shuffle sort-merge join and broadcast
+// hash join.
+type JoinAlgo int
+
+// Join operator implementations.
+const (
+	SMJ JoinAlgo = iota // shuffle sort-merge join
+	BHJ                 // broadcast hash join (map join)
+)
+
+// Algos lists all join implementations, in a stable order.
+var Algos = []JoinAlgo{SMJ, BHJ}
+
+// String returns the short operator name used throughout the paper.
+func (a JoinAlgo) String() string {
+	switch a {
+	case SMJ:
+		return "SMJ"
+	case BHJ:
+		return "BHJ"
+	}
+	return fmt.Sprintf("JoinAlgo(%d)", int(a))
+}
+
+// Resources is the resource configuration of one plan operator: the number
+// of concurrent containers and the size of each container. It corresponds
+// to the YARN container model in Section II-B. A zero value means
+// "unplanned".
+type Resources struct {
+	Containers  int
+	ContainerGB float64
+}
+
+// IsZero reports whether no resources have been planned.
+func (r Resources) IsZero() bool { return r.Containers == 0 && r.ContainerGB == 0 }
+
+// TotalGB is the total memory reserved by the configuration.
+func (r Resources) TotalGB() float64 { return float64(r.Containers) * r.ContainerGB }
+
+// String renders the configuration, e.g. "10x3GB".
+func (r Resources) String() string {
+	if r.IsZero() {
+		return "unplanned"
+	}
+	return fmt.Sprintf("%dx%.0fGB", r.Containers, r.ContainerGB)
+}
+
+// Query is a logical join query: the set of relations to join over a
+// schema's join graph. The paper's queries "consist of a set of relations
+// that need to be joined".
+type Query struct {
+	Schema *catalog.Schema
+	Rels   []string // sorted, unique
+}
+
+// NewQuery validates and normalizes a query. The relations must exist, be
+// unique, and form a connected subgraph (no cross products).
+func NewQuery(s *catalog.Schema, rels ...string) (*Query, error) {
+	if s == nil {
+		return nil, fmt.Errorf("plan: nil schema")
+	}
+	if len(rels) == 0 {
+		return nil, fmt.Errorf("plan: query needs at least one relation")
+	}
+	sorted := append([]string(nil), rels...)
+	sort.Strings(sorted)
+	for i, r := range sorted {
+		if _, ok := s.Table(r); !ok {
+			return nil, fmt.Errorf("plan: unknown relation %q", r)
+		}
+		if i > 0 && sorted[i-1] == r {
+			return nil, fmt.Errorf("plan: duplicate relation %q", r)
+		}
+	}
+	if !s.Connected(sorted) {
+		return nil, fmt.Errorf("plan: relations %v are not connected in the join graph", sorted)
+	}
+	return &Query{Schema: s, Rels: sorted}, nil
+}
+
+// Index returns the position of a relation in the query's normalized
+// relation list, or -1.
+func (q *Query) Index(rel string) int {
+	i := sort.SearchStrings(q.Rels, rel)
+	if i < len(q.Rels) && q.Rels[i] == rel {
+		return i
+	}
+	return -1
+}
+
+// NumJoins returns the number of binary joins any plan for the query has.
+func (q *Query) NumJoins() int { return len(q.Rels) - 1 }
+
+// Node is a physical plan operator: either a table scan (Table != "") or a
+// binary join. Statistics (estimated output rows/bytes) are computed when
+// the node is built and treated as immutable; the resource annotation Res
+// is the one mutable field, filled in by the resource planner.
+type Node struct {
+	Table string // scan leaf if non-empty
+
+	Algo        JoinAlgo
+	Left, Right *Node
+
+	// Res is the resource configuration chosen for this operator by the
+	// resource planner. Scans share the container wave of the join above
+	// them (operators are pipelined within shuffle boundaries, §VI-B), so
+	// Res is only meaningful on join nodes.
+	Res Resources
+
+	rows  float64
+	bytes float64
+	rels  []string // sorted relations covered by this subtree
+}
+
+// NewScan builds a scan leaf for the named table.
+func NewScan(s *catalog.Schema, table string) (*Node, error) {
+	t, ok := s.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("plan: unknown table %q", table)
+	}
+	return &Node{
+		Table: table,
+		rows:  float64(t.Rows),
+		bytes: float64(t.Size()),
+		rels:  []string{table},
+	}, nil
+}
+
+// NewJoin builds a join node over two subtrees, estimating output
+// cardinality as |L|·|R|·∏(selectivities of join-graph edges crossing the
+// two sides). It returns an error when no edge crosses the sides (a cross
+// product) or when the sides overlap.
+func NewJoin(s *catalog.Schema, algo JoinAlgo, left, right *Node) (*Node, error) {
+	if left == nil || right == nil {
+		return nil, fmt.Errorf("plan: nil join input")
+	}
+	rels, err := mergeRels(left.rels, right.rels)
+	if err != nil {
+		return nil, err
+	}
+	sel := 1.0
+	crossing := 0
+	for _, a := range left.rels {
+		for _, b := range right.rels {
+			if es, ok := s.Selectivity(a, b); ok {
+				sel *= es
+				crossing++
+			}
+		}
+	}
+	if crossing == 0 {
+		return nil, fmt.Errorf("plan: cross product between %v and %v", left.rels, right.rels)
+	}
+	rows := left.rows * right.rows * sel
+	if rows < 1 {
+		rows = 1
+	}
+	var width float64
+	if left.rows > 0 && right.rows > 0 {
+		width = left.bytes/left.rows + right.bytes/right.rows
+	}
+	return &Node{
+		Algo:  algo,
+		Left:  left,
+		Right: right,
+		rows:  rows,
+		bytes: rows * width,
+		rels:  rels,
+	}, nil
+}
+
+func mergeRels(a, b []string) ([]string, error) {
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return nil, fmt.Errorf("plan: relation %q appears on both join sides", a[i])
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out, nil
+}
+
+// IsScan reports whether the node is a table scan.
+func (n *Node) IsScan() bool { return n.Table != "" }
+
+// Rows returns the estimated output cardinality.
+func (n *Node) Rows() float64 { return n.rows }
+
+// Bytes returns the estimated output size in bytes.
+func (n *Node) Bytes() float64 { return n.bytes }
+
+// OutputGB returns the estimated output size in GB.
+func (n *Node) OutputGB() float64 { return n.bytes / float64(units.GB) }
+
+// Relations returns the sorted relations covered by the subtree.
+func (n *Node) Relations() []string {
+	out := make([]string, len(n.rels))
+	copy(out, n.rels)
+	return out
+}
+
+// SmallerInputGB returns the size in GB of the smaller join input — the
+// "ss" feature of the paper's cost model — and is only meaningful on join
+// nodes.
+func (n *Node) SmallerInputGB() float64 {
+	if n.IsScan() {
+		return 0
+	}
+	l, r := n.Left.bytes, n.Right.bytes
+	if l < r {
+		return l / float64(units.GB)
+	}
+	return r / float64(units.GB)
+}
+
+// LargerInputGB returns the size in GB of the larger join input.
+func (n *Node) LargerInputGB() float64 {
+	if n.IsScan() {
+		return 0
+	}
+	l, r := n.Left.bytes, n.Right.bytes
+	if l > r {
+		return l / float64(units.GB)
+	}
+	return r / float64(units.GB)
+}
+
+// Joins appends all join nodes of the subtree in post-order (children before
+// parents) — the order in which stages execute.
+func (n *Node) Joins() []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if m == nil || m.IsScan() {
+			return
+		}
+		walk(m.Left)
+		walk(m.Right)
+		out = append(out, m)
+	}
+	walk(n)
+	return out
+}
+
+// Clone deep-copies the plan tree, including resource annotations.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	c := *n
+	c.Left = n.Left.Clone()
+	c.Right = n.Right.Clone()
+	rels := make([]string, len(n.rels))
+	copy(rels, n.rels)
+	c.rels = rels
+	return &c
+}
+
+// Signature returns a canonical string identifying the plan's logical and
+// physical shape (join order + operator implementations), ignoring resource
+// annotations. Two plans with equal signatures are the same plan.
+func (n *Node) Signature() string {
+	var b strings.Builder
+	n.writeSig(&b, false)
+	return b.String()
+}
+
+// SignatureWithResources is Signature but also distinguishing the resource
+// annotations, used by tests and the adaptive re-optimizer.
+func (n *Node) SignatureWithResources() string {
+	var b strings.Builder
+	n.writeSig(&b, true)
+	return b.String()
+}
+
+func (n *Node) writeSig(b *strings.Builder, withRes bool) {
+	if n.IsScan() {
+		b.WriteString(n.Table)
+		return
+	}
+	b.WriteString(n.Algo.String())
+	if withRes && !n.Res.IsZero() {
+		fmt.Fprintf(b, "@%s", n.Res)
+	}
+	b.WriteByte('(')
+	n.Left.writeSig(b, withRes)
+	b.WriteByte(',')
+	n.Right.writeSig(b, withRes)
+	b.WriteByte(')')
+}
+
+// String renders the plan as a multi-line, indented operator tree.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.render(&b, 0)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if n.IsScan() {
+		fmt.Fprintf(b, "%sScan(%s) rows=%.0f size=%s\n", indent, n.Table, n.rows, units.Bytes(n.bytes))
+		return
+	}
+	fmt.Fprintf(b, "%s%s [%s] rows=%.0f size=%s\n", indent, n.Algo, n.Res, n.rows, units.Bytes(n.bytes))
+	n.Left.render(b, depth+1)
+	n.Right.render(b, depth+1)
+}
+
+// Validate checks structural invariants of the plan against a query: it
+// must cover exactly the query's relations, every join must be edge-backed,
+// and no relation may repeat. Statistics consistency is implied by
+// construction; Validate exists to catch hand-built or mutated trees.
+func (n *Node) Validate(q *Query) error {
+	if n == nil {
+		return fmt.Errorf("plan: nil plan")
+	}
+	got := n.Relations()
+	if len(got) != len(q.Rels) {
+		return fmt.Errorf("plan: covers %d relations, query has %d", len(got), len(q.Rels))
+	}
+	for i := range got {
+		if got[i] != q.Rels[i] {
+			return fmt.Errorf("plan: covers %v, query wants %v", got, q.Rels)
+		}
+	}
+	var walk func(m *Node) error
+	walk = func(m *Node) error {
+		if m.IsScan() {
+			if _, ok := q.Schema.Table(m.Table); !ok {
+				return fmt.Errorf("plan: scan of unknown table %q", m.Table)
+			}
+			return nil
+		}
+		if m.Left == nil || m.Right == nil {
+			return fmt.Errorf("plan: join with missing input")
+		}
+		crossing := false
+		for _, a := range m.Left.rels {
+			for _, b := range m.Right.rels {
+				if q.Schema.Joinable(a, b) {
+					crossing = true
+				}
+			}
+		}
+		if !crossing {
+			return fmt.Errorf("plan: cross product between %v and %v", m.Left.rels, m.Right.rels)
+		}
+		if err := walk(m.Left); err != nil {
+			return err
+		}
+		return walk(m.Right)
+	}
+	return walk(n)
+}
+
+// LeftDeep builds a left-deep plan joining the given relations in order with
+// the given algorithm at every join. It is a convenience for tests,
+// examples, and the Selinger planner's plan materialization.
+func LeftDeep(s *catalog.Schema, algo JoinAlgo, rels ...string) (*Node, error) {
+	if len(rels) == 0 {
+		return nil, fmt.Errorf("plan: no relations")
+	}
+	cur, err := NewScan(s, rels[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rels[1:] {
+		leaf, err := NewScan(s, r)
+		if err != nil {
+			return nil, err
+		}
+		cur, err = NewJoin(s, algo, cur, leaf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}

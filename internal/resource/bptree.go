@@ -1,0 +1,253 @@
+package resource
+
+import (
+	"math"
+	"sort"
+
+	"raqo/internal/plan"
+)
+
+// bpTree is a B+ tree over float64 data-characteristic keys — the
+// "CSB+-Tree for larger workloads" layout the paper suggests for the
+// resource-plan cache. Leaves are chained in both directions so the
+// nearest-neighbor and threshold-scan probes of the cache stay O(log n + k).
+type bpTree struct {
+	root  *bpNode
+	first *bpNode // leftmost leaf
+	count int
+}
+
+// bpOrder is the fan-out; leaves hold up to bpOrder entries.
+const bpOrder = 32
+
+type bpNode struct {
+	leaf bool
+
+	// keys: separators for internal nodes (len(kids) == len(keys)+1) or
+	// entry keys for leaves.
+	keys []float64
+	vals []plan.Resources // leaves only
+	kids []*bpNode        // internal only
+
+	next, prev *bpNode // leaf chain
+}
+
+func newBPTree() *bpTree {
+	leaf := &bpNode{leaf: true}
+	return &bpTree{root: leaf, first: leaf}
+}
+
+func (t *bpTree) size() int { return t.count }
+
+// findLeaf descends to the leaf that should contain key.
+func (t *bpTree) findLeaf(key float64) *bpNode {
+	n := t.root
+	for !n.leaf {
+		i := sort.SearchFloat64s(n.keys, key)
+		// keys[i-1] <= key < keys[i] routes to kids[i]; SearchFloat64s
+		// returns the first separator > key... it returns first index with
+		// keys[i] >= key, so equal keys route right by bumping.
+		if i < len(n.keys) && n.keys[i] == key {
+			i++
+		}
+		n = n.kids[i]
+	}
+	return n
+}
+
+func (t *bpTree) insert(key float64, val plan.Resources) {
+	leaf := t.findLeaf(key)
+	i := sort.SearchFloat64s(leaf.keys, key)
+	if i < len(leaf.keys) && math.Abs(leaf.keys[i]-key) <= exactEps {
+		leaf.vals[i] = val
+		return
+	}
+	// Also check the boundary with the previous leaf for float-noise
+	// duplicates.
+	if i == 0 && leaf.prev != nil {
+		p := leaf.prev
+		if len(p.keys) > 0 && math.Abs(p.keys[len(p.keys)-1]-key) <= exactEps {
+			p.vals[len(p.vals)-1] = val
+			return
+		}
+	}
+	leaf.keys = append(leaf.keys, 0)
+	leaf.vals = append(leaf.vals, plan.Resources{})
+	copy(leaf.keys[i+1:], leaf.keys[i:])
+	copy(leaf.vals[i+1:], leaf.vals[i:])
+	leaf.keys[i] = key
+	leaf.vals[i] = val
+	t.count++
+	if len(leaf.keys) > bpOrder {
+		t.splitLeaf(leaf)
+	}
+}
+
+// splitLeaf splits an overfull leaf and propagates splits upward. Parents
+// are located by re-descending from the root (simpler than parent
+// pointers; depth is O(log n)).
+func (t *bpTree) splitLeaf(leaf *bpNode) {
+	mid := len(leaf.keys) / 2
+	right := &bpNode{
+		leaf: true,
+		keys: append([]float64(nil), leaf.keys[mid:]...),
+		vals: append([]plan.Resources(nil), leaf.vals[mid:]...),
+		next: leaf.next,
+		prev: leaf,
+	}
+	leaf.keys = leaf.keys[:mid]
+	leaf.vals = leaf.vals[:mid]
+	if right.next != nil {
+		right.next.prev = right
+	}
+	leaf.next = right
+	t.insertIntoParent(leaf, right.keys[0], right)
+}
+
+func (t *bpTree) insertIntoParent(left *bpNode, sep float64, right *bpNode) {
+	if left == t.root {
+		t.root = &bpNode{keys: []float64{sep}, kids: []*bpNode{left, right}}
+		return
+	}
+	parent := t.parentOf(t.root, left)
+	i := 0
+	for ; i < len(parent.kids); i++ {
+		if parent.kids[i] == left {
+			break
+		}
+	}
+	parent.keys = append(parent.keys, 0)
+	copy(parent.keys[i+1:], parent.keys[i:])
+	parent.keys[i] = sep
+	parent.kids = append(parent.kids, nil)
+	copy(parent.kids[i+2:], parent.kids[i+1:])
+	parent.kids[i+1] = right
+	if len(parent.kids) > bpOrder {
+		t.splitInternal(parent)
+	}
+}
+
+func (t *bpTree) splitInternal(n *bpNode) {
+	midKey := len(n.keys) / 2
+	sep := n.keys[midKey]
+	right := &bpNode{
+		keys: append([]float64(nil), n.keys[midKey+1:]...),
+		kids: append([]*bpNode(nil), n.kids[midKey+1:]...),
+	}
+	n.keys = n.keys[:midKey]
+	n.kids = n.kids[:midKey+1]
+	t.insertIntoParent(n, sep, right)
+}
+
+// parentOf finds the parent of target below cur; cur must be an ancestor.
+func (t *bpTree) parentOf(cur, target *bpNode) *bpNode {
+	if cur.leaf {
+		return nil
+	}
+	for _, k := range cur.kids {
+		if k == target {
+			return cur
+		}
+	}
+	// Descend along the path to the target's first key (or any key; all of
+	// the target's keys share the same routing in an ancestor).
+	key := routeKey(target)
+	i := sort.SearchFloat64s(cur.keys, key)
+	if i < len(cur.keys) && cur.keys[i] == key {
+		i++
+	}
+	return t.parentOf(cur.kids[i], target)
+}
+
+func routeKey(n *bpNode) float64 {
+	for !n.leaf {
+		n = n.kids[0]
+	}
+	return n.keys[0]
+}
+
+func (t *bpTree) exact(key float64) (plan.Resources, bool) {
+	leaf := t.findLeaf(key)
+	i := sort.SearchFloat64s(leaf.keys, key)
+	if i < len(leaf.keys) && math.Abs(leaf.keys[i]-key) <= exactEps {
+		return leaf.vals[i], true
+	}
+	if i > 0 && math.Abs(leaf.keys[i-1]-key) <= exactEps {
+		return leaf.vals[i-1], true
+	}
+	if i == 0 && leaf.prev != nil {
+		p := leaf.prev
+		if len(p.keys) > 0 && math.Abs(p.keys[len(p.keys)-1]-key) <= exactEps {
+			return p.vals[len(p.vals)-1], true
+		}
+	}
+	return plan.Resources{}, false
+}
+
+func (t *bpTree) nearest(key float64) (entryKV, bool) {
+	if t.count == 0 {
+		return entryKV{}, false
+	}
+	leaf := t.findLeaf(key)
+	i := sort.SearchFloat64s(leaf.keys, key)
+	best, ok := entryKV{}, false
+	consider := func(l *bpNode, j int) {
+		if l == nil || j < 0 || j >= len(l.keys) {
+			return
+		}
+		if !ok || math.Abs(l.keys[j]-key) < math.Abs(best.key-key) {
+			best = entryKV{key: l.keys[j], val: l.vals[j]}
+			ok = true
+		}
+	}
+	// Predecessor first, matching the sorted-array tie-break (the smaller
+	// key wins on equal distance).
+	consider(leaf, i-1)
+	if i == 0 && leaf.prev != nil {
+		consider(leaf.prev, len(leaf.prev.keys)-1)
+	}
+	consider(leaf, i)
+	if i >= len(leaf.keys) && leaf.next != nil {
+		consider(leaf.next, 0)
+	}
+	return best, ok
+}
+
+func (t *bpTree) neighbors(key, threshold float64) []entryKV {
+	var out []entryKV
+	leaf := t.findLeaf(key)
+	i := sort.SearchFloat64s(leaf.keys, key)
+	// Walk left from position i-1 across the leaf chain.
+	l, j := leaf, i-1
+	for l != nil {
+		if j < 0 {
+			l = l.prev
+			if l != nil {
+				j = len(l.keys) - 1
+			}
+			continue
+		}
+		if key-l.keys[j] > threshold {
+			break
+		}
+		out = append(out, entryKV{key: l.keys[j], val: l.vals[j]})
+		j--
+	}
+	// Walk right from position i.
+	l, j = leaf, i
+	for l != nil {
+		if j >= len(l.keys) {
+			l = l.next
+			j = 0
+			continue
+		}
+		if l.keys[j]-key > threshold {
+			break
+		}
+		out = append(out, entryKV{key: l.keys[j], val: l.vals[j]})
+		j++
+	}
+	return out
+}
+
+var _ keyIndex = (*bpTree)(nil)

@@ -1,0 +1,173 @@
+package resource
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"raqo/internal/cluster"
+	"raqo/internal/plan"
+)
+
+func res(n int) plan.Resources { return plan.Resources{Containers: n, ContainerGB: 1} }
+
+func TestBPTreeInsertAndExact(t *testing.T) {
+	tr := newBPTree()
+	for i := 0; i < 500; i++ {
+		tr.insert(float64(i)*0.5, res(i))
+	}
+	if tr.size() != 500 {
+		t.Fatalf("size = %d", tr.size())
+	}
+	for i := 0; i < 500; i++ {
+		v, ok := tr.exact(float64(i) * 0.5)
+		if !ok || v != res(i) {
+			t.Fatalf("exact(%v) = %v, %v", float64(i)*0.5, v, ok)
+		}
+	}
+	if _, ok := tr.exact(0.25); ok {
+		t.Error("phantom exact hit")
+	}
+	// Overwrite.
+	tr.insert(1.0, res(999))
+	if v, _ := tr.exact(1.0); v != res(999) {
+		t.Error("overwrite failed")
+	}
+	if tr.size() != 500 {
+		t.Errorf("overwrite changed size to %d", tr.size())
+	}
+}
+
+func TestBPTreeNearest(t *testing.T) {
+	tr := newBPTree()
+	keys := []float64{1, 3, 7, 20, 100}
+	for i, k := range keys {
+		tr.insert(k, res(i))
+	}
+	cases := []struct {
+		probe float64
+		want  float64
+	}{
+		{0, 1}, {1.9, 1}, {2.1, 3}, {5, 3}, {6, 7}, {50, 20}, {70, 100}, {1000, 100},
+	}
+	for _, c := range cases {
+		e, ok := tr.nearest(c.probe)
+		if !ok || e.key != c.want {
+			t.Errorf("nearest(%v) = %v (ok=%v), want key %v", c.probe, e.key, ok, c.want)
+		}
+	}
+	empty := newBPTree()
+	if _, ok := empty.nearest(1); ok {
+		t.Error("nearest on empty tree")
+	}
+}
+
+func TestBPTreeNeighbors(t *testing.T) {
+	tr := newBPTree()
+	for i := 0; i < 200; i++ {
+		tr.insert(float64(i), res(i))
+	}
+	got := tr.neighbors(100.2, 3)
+	want := map[float64]bool{98: true, 99: true, 100: true, 101: true, 102: true, 103: true}
+	if len(got) != len(want) {
+		t.Fatalf("neighbors = %d entries, want %d: %v", len(got), len(want), got)
+	}
+	for _, e := range got {
+		if !want[e.key] {
+			t.Errorf("unexpected neighbor %v", e.key)
+		}
+	}
+}
+
+// Property: the B+ tree and the sorted array answer every probe
+// identically for random workloads.
+func TestBPTreeMatchesArrayProperty(t *testing.T) {
+	cond := cluster.Default()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := newBPTree()
+		arr := &arrayIndex{}
+		for i := 0; i < 300; i++ {
+			k := math.Round(rng.Float64()*1000) / 100 // 0.00 .. 10.00
+			v := res(rng.Intn(100) + 1)
+			tr.insert(k, v)
+			arr.insert(k, v)
+		}
+		if tr.size() != arr.size() {
+			return false
+		}
+		for i := 0; i < 100; i++ {
+			probe := rng.Float64() * 11
+			for _, mode := range []LookupMode{Exact, NearestNeighbor, WeightedAverage} {
+				for _, th := range []float64{0, 0.01, 0.5} {
+					a, aok := lookup(arr, probe, mode, th, cond)
+					b, bok := lookup(tr, probe, mode, th, cond)
+					if aok != bok || a != b {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: leaf chain stays sorted and complete after random inserts.
+func TestBPTreeLeafChainSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	tr := newBPTree()
+	inserted := map[float64]bool{}
+	for i := 0; i < 5000; i++ {
+		k := math.Round(rng.Float64()*1e6) / 100
+		tr.insert(k, res(1))
+		inserted[k] = true
+	}
+	var walked []float64
+	for l := tr.first; l != nil; l = l.next {
+		walked = append(walked, l.keys...)
+	}
+	if len(walked) != len(inserted) {
+		t.Fatalf("leaf chain has %d keys, inserted %d", len(walked), len(inserted))
+	}
+	if !sort.Float64sAreSorted(walked) {
+		t.Fatal("leaf chain not sorted")
+	}
+	// prev pointers mirror next pointers.
+	var last *bpNode
+	for l := tr.first; l != nil; l = l.next {
+		if l.prev != last {
+			t.Fatal("prev pointer broken")
+		}
+		last = l
+	}
+}
+
+func TestCacheWithBPlusTreeIndex(t *testing.T) {
+	c := &Cache{Inner: &HillClimb{}, Mode: NearestNeighbor, ThresholdGB: 0.5, Index: BPlusTree}
+	m := quadModel(42, 7)
+	r1, err := c.Plan(m, 3.0, cond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Plan(m, 3.3, cond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 || c.Hits() != 1 {
+		t.Errorf("b+tree cache: %v vs %v, hits=%d", r1, r2, c.Hits())
+	}
+	if c.Size() != 1 {
+		t.Errorf("size = %d", c.Size())
+	}
+}
+
+func TestIndexKindString(t *testing.T) {
+	if SortedArray.String() != "sorted-array" || BPlusTree.String() != "b+tree" {
+		t.Error("index kind names")
+	}
+}

@@ -1,0 +1,178 @@
+// Package scheduler implements the "interaction with DAG scheduler" agenda
+// item of the paper's Section VIII: with RAQO, submitted jobs carry precise
+// per-stage resource requests, and the scheduler must decide what to do
+// when the exact resources are not available — delay the job, degrade the
+// request to what is free, or hand the query back to the optimizer for a
+// plan that fits the current conditions.
+package scheduler
+
+import (
+	"fmt"
+
+	"raqo/internal/cluster"
+	"raqo/internal/core"
+	"raqo/internal/cost"
+	"raqo/internal/execsim"
+	"raqo/internal/plan"
+)
+
+// Policy is what the scheduler does when a stage's requested resources
+// exceed what the cluster can currently offer.
+type Policy int
+
+// Scheduling policies for infeasible requests.
+const (
+	// Wait queues the job until the requested resources free up; the wait
+	// is charged as queue time (the Figure 1 pathology).
+	Wait Policy = iota
+	// Degrade clamps the request onto the available conditions and runs
+	// with what is free — fast admission, possibly slower execution.
+	Degrade
+	// Reoptimize hands the query back to RAQO under the available
+	// conditions — adaptive RAQO as a scheduler policy.
+	Reoptimize
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Wait:
+		return "wait"
+	case Degrade:
+		return "degrade"
+	case Reoptimize:
+		return "reoptimize"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Outcome reports how one job fared through the scheduler.
+type Outcome struct {
+	Policy Policy
+	// QueueSeconds is the simulated wait before the job could start.
+	QueueSeconds float64
+	// ExecSeconds is the simulated execution time of the plan that
+	// actually ran.
+	ExecSeconds float64
+	// Replanned is true when the Reoptimize policy produced a different
+	// joint plan than the submitted one.
+	Replanned bool
+	// Result is the simulated execution result.
+	Result *execsim.Result
+}
+
+// TotalSeconds is queue plus execution time.
+func (o *Outcome) TotalSeconds() float64 { return o.QueueSeconds + o.ExecSeconds }
+
+// Scheduler admits joint query/resource plans onto a cluster whose
+// currently free capacity may be below the conditions the plan was
+// optimized for.
+type Scheduler struct {
+	Engine  execsim.Params
+	Pricing cost.Pricing
+	// Optimizer is consulted by the Reoptimize policy; required for it.
+	Optimizer *core.Optimizer
+	// DrainRate approximates how fast queued-for resources free up, in
+	// containers per second, when the Wait policy must queue a job.
+	DrainRate float64
+}
+
+// maxRequested returns the largest per-stage request of a plan.
+func maxRequested(p *plan.Node) plan.Resources {
+	var max plan.Resources
+	for _, j := range p.Joins() {
+		if j.Res.Containers > max.Containers {
+			max.Containers = j.Res.Containers
+		}
+		if j.Res.ContainerGB > max.ContainerGB {
+			max.ContainerGB = j.Res.ContainerGB
+		}
+	}
+	return max
+}
+
+// fits reports whether every stage's request is satisfiable under the
+// available conditions.
+func fits(p *plan.Node, avail cluster.Conditions) bool {
+	for _, j := range p.Joins() {
+		if j.Res.Containers > avail.MaxContainers || j.Res.ContainerGB > avail.MaxContainerGB+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// Submit schedules a joint plan under the currently available conditions
+// with the given policy. The submitted plan is not modified: Degrade and
+// Reoptimize run a copy or a new plan.
+func (s *Scheduler) Submit(q *plan.Query, submitted *plan.Node, avail cluster.Conditions, policy Policy) (*Outcome, error) {
+	if submitted == nil {
+		return nil, fmt.Errorf("scheduler: nil plan")
+	}
+	if err := avail.Validate(); err != nil {
+		return nil, fmt.Errorf("scheduler: available conditions: %w", err)
+	}
+	if fits(submitted, avail) {
+		res, err := s.Engine.Execute(submitted, s.Pricing)
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{Policy: policy, ExecSeconds: res.Seconds, Result: res}, nil
+	}
+	switch policy {
+	case Wait:
+		// The job waits for the missing containers to drain free.
+		req := maxRequested(submitted)
+		missing := req.Containers - avail.MaxContainers
+		if missing < 0 {
+			missing = 0
+		}
+		rate := s.DrainRate
+		if rate <= 0 {
+			rate = 0.05 // containers per second: a busy shared cluster
+		}
+		wait := float64(missing) / rate
+		res, err := s.Engine.Execute(submitted, s.Pricing)
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{Policy: policy, QueueSeconds: wait, ExecSeconds: res.Seconds, Result: res}, nil
+
+	case Degrade:
+		clamped := submitted.Clone()
+		for _, j := range clamped.Joins() {
+			j.Res = avail.Clamp(j.Res)
+		}
+		res, err := s.Engine.Execute(clamped, s.Pricing)
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{Policy: policy, ExecSeconds: res.Seconds, Result: res}, nil
+
+	case Reoptimize:
+		if s.Optimizer == nil {
+			return nil, fmt.Errorf("scheduler: Reoptimize policy needs an optimizer")
+		}
+		if q == nil {
+			return nil, fmt.Errorf("scheduler: Reoptimize policy needs the logical query")
+		}
+		if err := s.Optimizer.SetConditions(avail); err != nil {
+			return nil, err
+		}
+		d, err := s.Optimizer.Optimize(q)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.Engine.Execute(d.Plan, s.Pricing)
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{
+			Policy:      policy,
+			ExecSeconds: res.Seconds,
+			Replanned:   d.Plan.SignatureWithResources() != submitted.SignatureWithResources(),
+			Result:      res,
+		}, nil
+	}
+	return nil, fmt.Errorf("scheduler: unknown policy %v", policy)
+}

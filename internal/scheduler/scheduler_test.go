@@ -1,0 +1,168 @@
+package scheduler
+
+import (
+	"testing"
+
+	"raqo/internal/catalog"
+	"raqo/internal/cluster"
+	"raqo/internal/core"
+	"raqo/internal/cost"
+	"raqo/internal/execsim"
+	"raqo/internal/plan"
+	"raqo/internal/workload"
+)
+
+func setup(t *testing.T) (*Scheduler, *plan.Query, *plan.Node) {
+	t.Helper()
+	s := catalog.TPCH(100)
+	q, err := workload.TPCHQuery(s, workload.Q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := workload.TrainedModels(execsim.Hive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := core.New(cluster.Default(), core.Options{Models: models})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := opt.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := &Scheduler{
+		Engine:    execsim.Hive(),
+		Pricing:   cost.DefaultPricing(),
+		Optimizer: opt,
+	}
+	return sched, q, d.Plan
+}
+
+// lowAvail is a shrunken cluster that cannot satisfy a 100x10GB-scale
+// optimum.
+func lowAvail() cluster.Conditions {
+	return cluster.Conditions{
+		MinContainers: 1, MaxContainers: 8, ContainerStep: 1,
+		MinContainerGB: 1, MaxContainerGB: 4, GBStep: 1,
+	}
+}
+
+func TestSubmitFitsRunsImmediately(t *testing.T) {
+	sched, q, p := setup(t)
+	out, err := sched.Submit(q, p, cluster.Default(), Wait)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.QueueSeconds != 0 {
+		t.Errorf("queue = %v, want 0 when the request fits", out.QueueSeconds)
+	}
+	if out.ExecSeconds <= 0 || out.Result == nil {
+		t.Errorf("outcome = %+v", out)
+	}
+}
+
+func TestSubmitWaitQueues(t *testing.T) {
+	sched, q, p := setup(t)
+	out, err := sched.Submit(q, p, lowAvail(), Wait)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.QueueSeconds <= 0 {
+		t.Error("Wait policy should queue when resources are short")
+	}
+	if out.TotalSeconds() != out.QueueSeconds+out.ExecSeconds {
+		t.Error("TotalSeconds arithmetic")
+	}
+}
+
+func TestSubmitDegradeClampsAndRuns(t *testing.T) {
+	sched, q, p := setup(t)
+	before := p.SignatureWithResources()
+	out, err := sched.Submit(q, p, lowAvail(), Degrade)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.QueueSeconds != 0 {
+		t.Error("Degrade should admit immediately")
+	}
+	if p.SignatureWithResources() != before {
+		t.Error("Degrade mutated the submitted plan")
+	}
+	// Degraded execution is slower than the full-cluster run.
+	full, err := sched.Submit(q, p, cluster.Default(), Degrade)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ExecSeconds <= full.ExecSeconds {
+		t.Errorf("degraded run (%v) should be slower than full (%v)", out.ExecSeconds, full.ExecSeconds)
+	}
+}
+
+func TestSubmitReoptimizeReplans(t *testing.T) {
+	sched, q, p := setup(t)
+	out, err := sched.Submit(q, p, lowAvail(), Reoptimize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Replanned {
+		t.Error("shrunken cluster should force a different joint plan")
+	}
+	if out.ExecSeconds <= 0 {
+		t.Errorf("outcome = %+v", out)
+	}
+}
+
+// The whole point of the Section VIII discussion: on a badly congested
+// cluster (slow drain), re-optimizing should beat waiting for the original
+// request, and be at least as good as blind degradation.
+func TestReoptimizeBeatsWaitAndDegrade(t *testing.T) {
+	sched, q, p := setup(t)
+	sched.DrainRate = 0.01 // severely congested: ~100s per freed container
+	avail := lowAvail()
+	wait, err := sched.Submit(q, p, avail, Wait)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degrade, err := sched.Submit(q, p, avail, Degrade)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reopt, err := sched.Submit(q, p, avail, Reoptimize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopt.TotalSeconds() > wait.TotalSeconds() {
+		t.Errorf("reoptimize (%v) should beat waiting (%v)", reopt.TotalSeconds(), wait.TotalSeconds())
+	}
+	if reopt.TotalSeconds() > degrade.TotalSeconds()*1.05 {
+		t.Errorf("reoptimize (%v) should be at least as good as degrading (%v)",
+			reopt.TotalSeconds(), degrade.TotalSeconds())
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	sched, q, p := setup(t)
+	if _, err := sched.Submit(q, nil, cluster.Default(), Wait); err == nil {
+		t.Error("nil plan accepted")
+	}
+	if _, err := sched.Submit(q, p, cluster.Conditions{}, Wait); err == nil {
+		t.Error("invalid conditions accepted")
+	}
+	if _, err := sched.Submit(nil, p, lowAvail(), Reoptimize); err == nil {
+		t.Error("Reoptimize without a query accepted")
+	}
+	noOpt := &Scheduler{Engine: execsim.Hive(), Pricing: cost.DefaultPricing()}
+	if _, err := noOpt.Submit(q, p, lowAvail(), Reoptimize); err == nil {
+		t.Error("Reoptimize without an optimizer accepted")
+	}
+	if _, err := sched.Submit(q, p, lowAvail(), Policy(99)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Wait.String() != "wait" || Degrade.String() != "degrade" || Reoptimize.String() != "reoptimize" {
+		t.Error("policy names")
+	}
+}

@@ -1,0 +1,80 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBytesConversions(t *testing.T) {
+	tests := []struct {
+		in   Bytes
+		gb   float64
+		mb   float64
+		want string
+	}{
+		{0, 0, 0, "0B"},
+		{512, 512.0 / (1 << 30), 512.0 / (1 << 20), "512B"},
+		{KB, 1.0 / (1 << 20), 1.0 / (1 << 10), "1.00KB"},
+		{10 * MB, 10.0 / 1024, 10, "10.00MB"},
+		{GB, 1, 1024, "1.00GB"},
+		{5*GB + 512*MB, 5.5, 5632, "5.50GB"},
+		{2 * TB, 2048, 2 * 1024 * 1024, "2.00TB"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.GBf(); math.Abs(got-tt.gb) > 1e-12 {
+			t.Errorf("(%d).GBf() = %v, want %v", tt.in, got, tt.gb)
+		}
+		if got := tt.in.MBf(); math.Abs(got-tt.mb) > 1e-9 {
+			t.Errorf("(%d).MBf() = %v, want %v", tt.in, got, tt.mb)
+		}
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("(%d).String() = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestFromGBRoundTrip(t *testing.T) {
+	f := func(gb16 uint16) bool {
+		gb := float64(gb16) / 128 // 0 .. 512 GB in 1/128 steps
+		return math.Abs(FromGB(gb).GBf()-gb) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromMBRoundTrip(t *testing.T) {
+	f := func(mb16 uint16) bool {
+		mb := float64(mb16) / 4
+		return math.Abs(FromMB(mb).MBf()-mb) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegativeBytesString(t *testing.T) {
+	if got := (-3 * GB).String(); got != "-3.00GB" {
+		t.Errorf("negative size = %q, want -3.00GB", got)
+	}
+}
+
+func TestGBSeconds(t *testing.T) {
+	g := GBSeconds(2048)
+	if got := g.TBSeconds(); got != 2 {
+		t.Errorf("TBSeconds = %v, want 2", got)
+	}
+	if got := g.String(); got != "2.000 TB·s" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSecondsAndDollarsString(t *testing.T) {
+	if got := Seconds(12.34).String(); got != "12.3s" {
+		t.Errorf("Seconds.String = %q", got)
+	}
+	if got := Dollars(1.5).String(); got != "$1.5000" {
+		t.Errorf("Dollars.String = %q", got)
+	}
+}

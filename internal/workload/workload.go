@@ -1,0 +1,130 @@
+// Package workload provides the queries the paper evaluates on: the TPC-H
+// join queries of Section VII (Q12, Q3, Q2 and the all-tables join), random
+// k-way join queries over randomly generated schemas for the scaling
+// experiments, and profile-run generation for training cost models.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"raqo/internal/catalog"
+	"raqo/internal/cost"
+	"raqo/internal/execsim"
+	"raqo/internal/plan"
+)
+
+// TPC-H query names used in Figures 12-14.
+const (
+	Q12 = "Q12" // single join: lineitem ⋈ orders
+	Q3  = "Q3"  // two joins: customer ⋈ orders ⋈ lineitem
+	Q2  = "Q2"  // three joins: part ⋈ partsupp ⋈ supplier ⋈ nation
+	All = "All" // join all eight tables
+)
+
+// QueryNames lists the Section VII TPC-H queries in evaluation order.
+var QueryNames = []string{Q12, Q3, Q2, All}
+
+// TPCHQuery builds one of the paper's TPC-H queries by name.
+func TPCHQuery(s *catalog.Schema, name string) (*plan.Query, error) {
+	switch name {
+	case Q12:
+		return plan.NewQuery(s, catalog.Lineitem, catalog.Orders)
+	case Q3:
+		return plan.NewQuery(s, catalog.Customer, catalog.Orders, catalog.Lineitem)
+	case Q2:
+		return plan.NewQuery(s, catalog.Part, catalog.PartSupp, catalog.Supplier, catalog.Nation)
+	case All:
+		return plan.NewQuery(s, s.Tables()...)
+	}
+	return nil, fmt.Errorf("workload: unknown TPC-H query %q", name)
+}
+
+// TPCHQueries builds all Section VII queries keyed by name.
+func TPCHQueries(s *catalog.Schema) (map[string]*plan.Query, error) {
+	out := make(map[string]*plan.Query, len(QueryNames))
+	for _, name := range QueryNames {
+		q, err := TPCHQuery(s, name)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = q
+	}
+	return out, nil
+}
+
+// RandomQuery draws a connected k-relation query from a schema by random
+// greedy expansion along join edges, matching the paper's "queries having
+// increasing number of joins, up to as many as the number of tables".
+func RandomQuery(rng *rand.Rand, s *catalog.Schema, k int) (*plan.Query, error) {
+	tables := s.Tables()
+	if k < 1 || k > len(tables) {
+		return nil, fmt.Errorf("workload: k=%d out of [1,%d]", k, len(tables))
+	}
+	start := tables[rng.Intn(len(tables))]
+	chosen := []string{start}
+	in := map[string]bool{start: true}
+	for len(chosen) < k {
+		var frontier []string
+		for _, t := range chosen {
+			for _, n := range s.Neighbors(t) {
+				if !in[n] {
+					frontier = append(frontier, n)
+				}
+			}
+		}
+		if len(frontier) == 0 {
+			return nil, fmt.Errorf("workload: cannot grow a connected %d-relation query from %s", k, start)
+		}
+		pick := frontier[rng.Intn(len(frontier))]
+		in[pick] = true
+		chosen = append(chosen, pick)
+	}
+	return plan.NewQuery(s, chosen...)
+}
+
+// ProfileRuns generates cost-model training data by running single joins on
+// the execution simulator over a grid of data sizes and resource
+// configurations — the "profile runs" of Section VI-A. OOM configurations
+// are skipped, as they would be in real profiling.
+func ProfileRuns(p execsim.Params, largerGB float64, smallerGB []float64, containers []int, containerGB []float64) []cost.Profile {
+	var out []cost.Profile
+	for _, ss := range smallerGB {
+		for _, nc := range containers {
+			for _, cs := range containerGB {
+				r := plan.Resources{Containers: nc, ContainerGB: cs}
+				for _, algo := range plan.Algos {
+					secs, err := p.JoinTime(algo, ss, largerGB, r)
+					if err != nil {
+						continue
+					}
+					out = append(out, cost.Profile{
+						Algo: algo, SS: ss, CS: cs, NC: float64(nc), Seconds: secs,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DefaultProfileGrid returns the grid used to train the simulator-backed
+// cost models: smaller sides up to 8 GB against a 77 GB fact side, across
+// the default cluster's resource range.
+func DefaultProfileGrid(p execsim.Params) []cost.Profile {
+	smaller := []float64{0.1, 0.25, 0.5, 0.85, 1.5, 2.5, 3.4, 4.25, 5.1, 6.4, 8}
+	// Profiling below 10 containers is avoided: the 1/parallelism times
+	// there are so large they dominate the squared loss and wreck the fit
+	// in the operating range (the quadratic feature space cannot express a
+	// hyperbola).
+	containers := []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	sizes := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	return ProfileRuns(p, 77, smaller, containers, sizes)
+}
+
+// TrainedModels profiles the engine and fits the Section VI-A regression
+// models on the simulator's measurements — the full pipeline the paper
+// describes: profile runs → regression → cost-based RAQO.
+func TrainedModels(p execsim.Params) (*cost.Models, error) {
+	return cost.Train(DefaultProfileGrid(p))
+}

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"raqo/internal/catalog"
+	"raqo/internal/execsim"
+	"raqo/internal/plan"
+)
+
+func TestTPCHQueries(t *testing.T) {
+	s := catalog.TPCH(100)
+	qs, err := TPCHQueries(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJoins := map[string]int{Q12: 1, Q3: 2, Q2: 3, All: 7}
+	for name, want := range wantJoins {
+		q, ok := qs[name]
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if got := q.NumJoins(); got != want {
+			t.Errorf("%s joins = %d, want %d", name, got, want)
+		}
+	}
+	if _, err := TPCHQuery(s, "Q99"); err == nil {
+		t.Error("unknown query accepted")
+	}
+}
+
+func TestRandomQueryConnectedAndSized(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s, err := catalog.Random(rng, 40, catalog.DefaultRandomConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 5, 17, 40} {
+		q, err := RandomQuery(rng, s, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(q.Rels) != k {
+			t.Errorf("k=%d: got %d relations", k, len(q.Rels))
+		}
+	}
+	if _, err := RandomQuery(rng, s, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := RandomQuery(rng, s, 41); err == nil {
+		t.Error("k > tables accepted")
+	}
+}
+
+func TestProfileRunsSkipOOM(t *testing.T) {
+	h := execsim.Hive()
+	profs := ProfileRuns(h, 77, []float64{5.1}, []int{10}, []float64{3, 10})
+	// At 3 GB containers the 5.1 GB BHJ OOMs, so we get: SMJ@3, SMJ@10,
+	// BHJ@10 = 3 profiles.
+	if len(profs) != 3 {
+		t.Fatalf("profiles = %d, want 3", len(profs))
+	}
+	for _, p := range profs {
+		if p.Algo == plan.BHJ && p.CS < 5 {
+			t.Errorf("OOM profile leaked: %+v", p)
+		}
+		if p.Seconds <= 0 {
+			t.Errorf("non-positive time: %+v", p)
+		}
+	}
+}
+
+func TestTrainedModelsPredictReasonably(t *testing.T) {
+	h := execsim.Hive()
+	models, err := TrainedModels(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smj, ok := models.For(plan.SMJ)
+	if !ok {
+		t.Fatal("no SMJ model")
+	}
+	bhj, ok := models.For(plan.BHJ)
+	if !ok {
+		t.Fatal("no BHJ model")
+	}
+	// The trained models should reproduce the qualitative switch behavior
+	// on in-grid points: at 10 containers, BHJ beats SMJ for a small build
+	// side at big containers, SMJ wins at high parallelism.
+	if b, s := bhj.Cost(1, 9, 10), smj.Cost(1, 9, 10); b >= s {
+		t.Errorf("trained: BHJ (%v) should beat SMJ (%v) for 1GB @ 10x9GB", b, s)
+	}
+	if s, b := smj.Cost(3.4, 5, 80), bhj.Cost(3.4, 5, 80); s >= b {
+		t.Errorf("trained: SMJ (%v) should beat BHJ (%v) at 80 containers", s, b)
+	}
+	// Fit quality: model predictions within 2x of simulator on grid points.
+	sim, err := h.JoinTime(plan.SMJ, 2.5, 77, plan.Resources{Containers: 20, ContainerGB: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := smj.Cost(2.5, 5, 20)
+	if pred < sim/2 || pred > sim*2 {
+		t.Errorf("SMJ prediction %v vs simulator %v (off by >2x)", pred, sim)
+	}
+}
