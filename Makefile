@@ -1,0 +1,29 @@
+# Tier-1 verification plus the race detector and short benchmarks.
+# `make check` is the gate every change must pass.
+
+GO ?= go
+
+.PHONY: check vet build test race bench bench-json
+
+check: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short benchmark pass over the concurrency-sensitive paths; failures here
+# are correctness failures (the benchmarks assert planner errors).
+bench:
+	$(GO) test -run xxx -bench 'OptimizeParallel|OptimizeBatch|CacheContention' -benchtime=0.2s .
+
+# Record the concurrency benchmark numbers in BENCH_optimize.json.
+bench-json:
+	RAQO_BENCH_JSON=1 $(GO) test -run TestWriteBenchJSON .

@@ -1,0 +1,201 @@
+// Benchmarks for the concurrent optimize path: the parallel Selinger DP,
+// the batch API, and resource-plan cache contention. Run with:
+//
+//	go test -bench='OptimizeParallel|OptimizeBatch|CacheContention' -benchmem
+//
+// RAQO_BENCH_JSON=1 go test -run TestWriteBenchJSON records the numbers in
+// BENCH_optimize.json.
+package raqo_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"raqo"
+	"raqo/internal/cluster"
+	"raqo/internal/cost"
+	"raqo/internal/resource"
+)
+
+// benchWorkerCounts are the Selinger fan-out widths benchmarked: sequential
+// baseline, 4 workers, and one entry per available CPU (deduplicated).
+func benchWorkerCounts() []int {
+	counts := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+func benchOptimize(b *testing.B, workers int) {
+	sch := raqo.TPCH(100)
+	q, err := raqo.TPCHQuery(sch, "All") // 8 relations: the deepest DP the seed workload has
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt, err := raqo.NewOptimizer(raqo.DefaultConditions(), raqo.Options{Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.Optimize(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeParallel measures the parallel Selinger DP on TPC-H All
+// at 1, 4 and NumCPU workers.
+func BenchmarkOptimizeParallel(b *testing.B) {
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchOptimize(b, w) })
+	}
+}
+
+// BenchmarkOptimizeBatch measures the multi-query batch API over the whole
+// TPC-H evaluation workload at increasing inter-query parallelism.
+func BenchmarkOptimizeBatch(b *testing.B) {
+	sch := raqo.TPCH(100)
+	var queries []*raqo.Query
+	for _, name := range []string{"Q12", "Q3", "Q2", "All"} {
+		q, err := raqo.TPCHQuery(sch, name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
+	for _, parallel := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallel=%d", parallel), func(b *testing.B) {
+			benchBatch(b, queries, parallel)
+		})
+	}
+}
+
+func benchBatch(b *testing.B, queries []*raqo.Query, parallel int) {
+	opt, err := raqo.NewOptimizer(raqo.DefaultConditions(), raqo.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.OptimizeBatch(queries, parallel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheContention hammers a warm resource-plan cache from 8
+// goroutines, comparing the single-stripe (global lock) configuration with
+// the default 16-way striping.
+func BenchmarkCacheContention(b *testing.B) {
+	for _, stripes := range []int{1, 16} {
+		b.Run(fmt.Sprintf("stripes=%d", stripes), func(b *testing.B) {
+			benchCacheContention(b, stripes)
+		})
+	}
+}
+
+func benchCacheContention(b *testing.B, stripes int) {
+	const keys = 64
+	c := &resource.Cache{
+		Inner:       &resource.HillClimb{},
+		Mode:        resource.NearestNeighbor,
+		ThresholdGB: 0.1,
+		Stripes:     stripes,
+	}
+	m := cost.PaperSMJ()
+	cond := cluster.Default()
+	for i := 0; i < keys; i++ { // warm every key so the loop measures lookups
+		if _, err := c.Plan(m, float64(i)*0.157, cond); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := c.Plan(m, float64(i%keys)*0.157, cond); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// TestWriteBenchJSON records the concurrency benchmarks in
+// BENCH_optimize.json. Gated behind RAQO_BENCH_JSON=1 because it runs the
+// full suite via testing.Benchmark.
+func TestWriteBenchJSON(t *testing.T) {
+	if os.Getenv("RAQO_BENCH_JSON") == "" {
+		t.Skip("set RAQO_BENCH_JSON=1 to record BENCH_optimize.json")
+	}
+	type entry struct {
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+	}
+	var entries []entry
+	record := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		entries = append(entries, entry{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	for _, w := range benchWorkerCounts() {
+		w := w
+		record(fmt.Sprintf("OptimizeParallel/workers=%d", w), func(b *testing.B) {
+			benchOptimize(b, w)
+		})
+	}
+	sch := raqo.TPCH(100)
+	var queries []*raqo.Query
+	for _, name := range []string{"Q12", "Q3", "Q2", "All"} {
+		q, err := raqo.TPCHQuery(sch, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
+	for _, p := range []int{1, 4} {
+		p := p
+		record(fmt.Sprintf("OptimizeBatch/parallel=%d", p), func(b *testing.B) {
+			benchBatch(b, queries, p)
+		})
+	}
+	for _, s := range []int{1, 16} {
+		s := s
+		record(fmt.Sprintf("CacheContention/stripes=%d", s), func(b *testing.B) {
+			benchCacheContention(b, s)
+		})
+	}
+	report := struct {
+		GoMaxProcs int     `json:"gomaxprocs"`
+		NumCPU     int     `json:"num_cpu"`
+		Note       string  `json:"note"`
+		Benchmarks []entry `json:"benchmarks"`
+	}{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Note: "wall-clock speedup from parallel planning requires multiple CPUs; " +
+			"on a single-CPU host the parallel DP measures goroutine fan-out overhead, not speedup",
+		Benchmarks: entries,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_optimize.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_optimize.json with %d benchmarks", len(entries))
+}

@@ -6,6 +6,7 @@
 //
 //	raqo figure <fig1|fig2|...|fig15b|all>
 //	raqo optimize -query Q3 [-planner selinger|randomized] [-mode joint|fixed|budget|price]
+//	raqo batch [-queries Q12,Q3,Q2,All] [-parallel N] [-workers N] [-memo] [-cache GB]
 //	raqo trees [-engine hive|spark]
 //	raqo trace [-seed N]
 //	raqo simulate -query Q3 [-containers N] [-gb G]
@@ -15,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"raqo"
 	"raqo/internal/experiments"
@@ -31,6 +33,8 @@ func main() {
 		err = figureCmd(os.Args[2:])
 	case "optimize":
 		err = optimizeCmd(os.Args[2:])
+	case "batch":
+		err = batchCmd(os.Args[2:])
 	case "trees":
 		err = treesCmd(os.Args[2:])
 	case "trace":
@@ -57,6 +61,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   raqo figure <id|all>     regenerate a paper figure (fig1..fig15b)
   raqo optimize [flags]    jointly optimize a TPC-H query
+  raqo batch [flags]       jointly optimize a multi-query workload concurrently
   raqo trees [flags]       print default and RAQO decision trees
   raqo trace [flags]       simulate the shared-cluster queueing trace (fig 1)
   raqo simulate [flags]    execute an optimized plan on the engine simulator
@@ -159,6 +164,51 @@ func optimizeCmd(args []string) error {
 	fmt.Printf("planner: %v elapsed, %d plans considered, %d resource configurations explored\n\n",
 		d.Elapsed, d.PlansConsidered, d.ResourceIterations)
 	fmt.Print(d.Plan)
+	return nil
+}
+
+func batchCmd(args []string) error {
+	fs := flag.NewFlagSet("batch", flag.ContinueOnError)
+	queryList := fs.String("queries", "Q12,Q3,Q2,All", "comma-separated TPC-H queries")
+	parallel := fs.Int("parallel", 0, "concurrent queries (0 = NumCPU)")
+	workers := fs.Int("workers", 1, "intra-query planning workers (-1 = NumCPU)")
+	memo := fs.Bool("memo", false, "memoize operator costings across the batch")
+	cacheThreshold := fs.Float64("cache", 0, "resource-plan cache data-delta threshold in GB (0 = no cache)")
+	sf := fs.Float64("sf", 100, "TPC-H scale factor")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sch := raqo.TPCH(*sf)
+	names := strings.Split(*queryList, ",")
+	queries := make([]*raqo.Query, len(names))
+	for i, name := range names {
+		q, err := raqo.TPCHQuery(sch, strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		queries[i] = q
+	}
+	opts := raqo.Options{Workers: *workers, MemoizeCosts: *memo}
+	if *cacheThreshold > 0 {
+		opts.Resource = raqo.CachedResourcePlanner(*cacheThreshold)
+	}
+	opt, err := raqo.NewOptimizer(raqo.DefaultConditions(), opts)
+	if err != nil {
+		return err
+	}
+	decisions, err := opt.OptimizeBatch(queries, *parallel)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s  %12s  %12s  %10s  %10s  %12s\n",
+		"query", "time", "cost", "plans", "res-iters", "elapsed")
+	for i, d := range decisions {
+		fmt.Printf("%-6s  %11.1fs  %12v  %10d  %10d  %12v\n",
+			names[i], d.Time, d.Money, d.PlansConsidered, d.ResourceIterations, d.Elapsed)
+	}
+	if m := opt.Memo(); m != nil {
+		fmt.Printf("\ncost memo: %d hits, %d misses, %d entries\n", m.Hits(), m.Misses(), m.Size())
+	}
 	return nil
 }
 

@@ -16,6 +16,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"raqo/internal/cluster"
 	"raqo/internal/cost"
@@ -31,6 +33,9 @@ import (
 // resource planner considers the resource space for each of them". With
 // Resources nil, it is the plain QO baseline: every operator is priced at
 // the Fixed configuration.
+//
+// A Coster is safe for concurrent use by the parallel planners as long as
+// its Resources planner is (every planner in internal/resource is).
 type Coster struct {
 	Models  *cost.Models
 	Pricing cost.Pricing
@@ -49,11 +54,66 @@ type Coster struct {
 	// candidate instead of costing an impossible plan.
 	Engine *execsim.Params
 
-	// Pruned counts operators rejected by the memory-awareness check.
-	Pruned int
+	// Memo, when non-nil, memoizes operator costings by (cost model, data
+	// characteristic, coster context): repeated sub-plans inside one DP —
+	// and across queries when the memo is shared — skip cost modeling and
+	// resource planning entirely. See CostMemo.
+	Memo *CostMemo
+
+	pruned   atomic.Int64
+	resIters atomic.Int64
+
+	fpOnce sync.Once
+	fp     uint64
 }
 
 var _ optimizer.OperatorCoster = (*Coster)(nil)
+
+// Pruned returns how many operators the memory-awareness check rejected
+// (memoized rejections count every time they are served).
+func (c *Coster) Pruned() int64 { return c.pruned.Load() }
+
+// ResourceIters returns how many resource configurations this coster's
+// operators consumed (the paper's #Resource-Iterations metric), attributed
+// exactly per call via resource.PlanWithCount — memo and cache hits
+// contribute zero.
+func (c *Coster) ResourceIters() int64 { return c.resIters.Load() }
+
+// fingerprint hashes everything outside the operator itself that costing
+// depends on — the cluster conditions, the fixed configuration, whether a
+// resource planner is present, and the engine parameters — so memo entries
+// from different coster contexts can never collide.
+func (c *Coster) fingerprint() uint64 {
+	c.fpOnce.Do(func() {
+		h := uint64(14695981039346656037)
+		mix := func(v uint64) {
+			for i := 0; i < 8; i++ {
+				h = (h ^ (v >> (8 * i) & 0xff)) * 1099511628211
+			}
+		}
+		mixF := func(f float64) { mix(math.Float64bits(f)) }
+		mix(uint64(c.Cond.MinContainers))
+		mix(uint64(c.Cond.MaxContainers))
+		mix(uint64(c.Cond.ContainerStep))
+		mixF(c.Cond.MinContainerGB)
+		mixF(c.Cond.MaxContainerGB)
+		mixF(c.Cond.GBStep)
+		mix(uint64(c.Fixed.Containers))
+		mixF(c.Fixed.ContainerGB)
+		if c.Resources != nil {
+			mix(1)
+		}
+		if c.Engine != nil {
+			mix(2)
+			for i := 0; i < len(c.Engine.Name); i++ {
+				h = (h ^ uint64(c.Engine.Name[i])) * 1099511628211
+			}
+			mixF(c.Engine.OOMFrac)
+		}
+		c.fp = h
+	})
+	return c.fp
+}
 
 // CostOperator implements optimizer.OperatorCoster, annotating the
 // operator with the chosen resource configuration.
@@ -68,32 +128,59 @@ func (c *Coster) CostOperator(j *plan.Node) (optimizer.OpCost, error) {
 	if !ok {
 		return optimizer.OpCost{}, fmt.Errorf("core: no cost model for %s", j.Algo)
 	}
+	if c.Memo == nil {
+		oc, _, err := c.costJoin(j, model)
+		return oc, err
+	}
+	k := memoKey{model: model.Name(), bits: math.Float64bits(j.SmallerInputGB()), ctx: c.fingerprint()}
+	e, hit := c.Memo.do(k, func() memoEntry {
+		oc, pruned, err := c.costJoin(j, model)
+		return memoEntry{res: j.Res, oc: oc, err: err, pruned: pruned}
+	})
+	if hit {
+		if e.err != nil {
+			if e.pruned {
+				c.pruned.Add(1)
+			}
+			return optimizer.OpCost{}, e.err
+		}
+		j.Res = e.res
+		return e.oc, nil
+	}
+	return e.oc, e.err
+}
+
+// costJoin is the uncached costing path; it reports whether a returned
+// error was a memory-awareness prune (already counted against pruned).
+func (c *Coster) costJoin(j *plan.Node, model cost.Model) (optimizer.OpCost, bool, error) {
 	cond := c.Cond
 	if c.Engine != nil && j.Algo == plan.BHJ {
 		restricted, err := c.restrictForBroadcast(j)
 		if err != nil {
-			c.Pruned++
-			return optimizer.OpCost{}, err
+			c.pruned.Add(1)
+			return optimizer.OpCost{}, true, err
 		}
 		cond = restricted
 	}
 	var r plan.Resources
 	if c.Resources != nil {
 		var err error
-		r, err = c.Resources.Plan(model, j.SmallerInputGB(), cond)
+		var n int64
+		r, n, err = resource.PlanWithCount(c.Resources, model, j.SmallerInputGB(), cond)
+		c.resIters.Add(n)
 		if err != nil {
-			return optimizer.OpCost{}, fmt.Errorf("core: resource planning for %s over %v: %w",
+			return optimizer.OpCost{}, false, fmt.Errorf("core: resource planning for %s over %v: %w",
 				j.Algo, j.Relations(), err)
 		}
 	} else {
 		if c.Fixed.IsZero() {
-			return optimizer.OpCost{}, fmt.Errorf("core: coster has neither a resource planner nor a fixed configuration")
+			return optimizer.OpCost{}, false, fmt.Errorf("core: coster has neither a resource planner nor a fixed configuration")
 		}
 		r = c.Fixed
 		if c.Engine != nil && j.Algo == plan.BHJ &&
 			j.SmallerInputGB() > c.Engine.HashCapacityGB(r.ContainerGB, 1) {
-			c.Pruned++
-			return optimizer.OpCost{}, fmt.Errorf("core: %s over %v does not fit %v (build side %.2f GB)",
+			c.pruned.Add(1)
+			return optimizer.OpCost{}, true, fmt.Errorf("core: %s over %v does not fit %v (build side %.2f GB)",
 				j.Algo, j.Relations(), r, j.SmallerInputGB())
 		}
 	}
@@ -102,7 +189,7 @@ func (c *Coster) CostOperator(j *plan.Node) (optimizer.OpCost, error) {
 	return optimizer.OpCost{
 		Seconds: secs,
 		Money:   c.Pricing.StageCost(r, secs),
-	}, nil
+	}, false, nil
 }
 
 // restrictForBroadcast raises the minimum container size so the operator's

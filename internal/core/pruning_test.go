@@ -43,8 +43,8 @@ func TestMemoryAwareCosterRejectsOversizedBroadcast(t *testing.T) {
 	if _, err := c.CostOperator(big); err == nil || !strings.Contains(err.Error(), "infeasible") {
 		t.Errorf("oversized broadcast: err = %v", err)
 	}
-	if c.Pruned != 1 {
-		t.Errorf("pruned = %d, want 1", c.Pruned)
+	if c.Pruned() != 1 {
+		t.Errorf("pruned = %d, want 1", c.Pruned())
 	}
 	// The orders build side (15.4 GB at SF 100) also cannot fit... sample
 	// it down to something that fits only large containers.

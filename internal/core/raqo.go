@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"raqo/internal/cluster"
@@ -50,12 +49,26 @@ type Options struct {
 	Resource resource.Planner
 	// Randomized tunes the FastRandomized planner.
 	Randomized randomized.Options
-	// Seed drives the randomized planner's RNG.
+	// Seed drives the randomized planner. Each planning call derives its
+	// own private RNG from Seed and the query's relation fingerprint, so
+	// planning is reproducible per query and race-free under OptimizeBatch.
 	Seed int64
 	// Engine, when non-nil, enables memory-aware pruning: broadcast
 	// candidates whose build side cannot fit any container allowed by the
 	// conditions are pruned from the search instead of being costed.
 	Engine *execsim.Params
+	// Workers bounds intra-query planning parallelism (the Selinger
+	// per-DP-level fan-out and the randomized planner's restarts): 0 or 1
+	// plans sequentially; negative selects runtime.NumCPU(). The parallel
+	// Selinger DP is bit-identical to the sequential one under the default
+	// deterministic resource planners.
+	Workers int
+	// MemoizeCosts enables the per-Optimizer operator-cost memo: repeated
+	// (cost model, data characteristic) sub-problems — within one DP and
+	// across queries/Reoptimize calls under unchanged conditions — skip
+	// CostOperator entirely. Off by default because it changes the
+	// ResourceIterations/cache-hit accounting the paper's figures measure.
+	MemoizeCosts bool
 }
 
 // Optimizer is the combined resource-and-query optimizer of Figure 8(b):
@@ -64,7 +77,7 @@ type Options struct {
 type Optimizer struct {
 	opts Options
 	cond cluster.Conditions
-	rng  *rand.Rand
+	memo *CostMemo
 }
 
 // New builds an Optimizer for the given cluster conditions.
@@ -81,12 +94,16 @@ func New(cond cluster.Conditions, opts Options) (*Optimizer, error) {
 	if opts.Resource == nil {
 		opts.Resource = &resource.HillClimb{}
 	}
-	return &Optimizer{
-		opts: opts,
-		cond: cond,
-		rng:  rand.New(rand.NewSource(opts.Seed)),
-	}, nil
+	o := &Optimizer{opts: opts, cond: cond}
+	if opts.MemoizeCosts {
+		o.memo = NewCostMemo()
+	}
+	return o, nil
 }
+
+// Memo returns the operator-cost memo, or nil unless Options.MemoizeCosts
+// was set.
+func (o *Optimizer) Memo() *CostMemo { return o.memo }
 
 // Conditions returns the cluster conditions the optimizer currently plans
 // against.
@@ -126,33 +143,44 @@ func (o *Optimizer) coster(rp resource.Planner, fixed plan.Resources, cond clust
 		Fixed:     fixed,
 		Cond:      cond,
 		Engine:    o.opts.Engine,
+		Memo:      o.memo,
 	}
 }
 
-func (o *Optimizer) planner(c optimizer.OperatorCoster) optimizer.Planner {
+// seedFor derives a per-query seed from Options.Seed and the query's
+// relation list (FNV-1a), so concurrent planning calls never share RNG
+// state yet every run of the same query under the same Seed reproduces.
+func (o *Optimizer) seedFor(q *plan.Query) int64 {
+	h := uint64(14695981039346656037)
+	for _, rel := range q.Rels {
+		for i := 0; i < len(rel); i++ {
+			h = (h ^ uint64(rel[i])) * 1099511628211
+		}
+		h = (h ^ 0x1f) * 1099511628211 // relation separator
+	}
+	return o.opts.Seed ^ int64(h)
+}
+
+func (o *Optimizer) planner(c optimizer.OperatorCoster, q *plan.Query) optimizer.Planner {
 	switch o.opts.Planner {
 	case FastRandomized:
-		return &randomized.Planner{Coster: c, Opts: o.opts.Randomized, RNG: o.rng}
+		return &randomized.Planner{Coster: c, Opts: o.opts.Randomized, Seed: o.seedFor(q), Workers: o.opts.Workers}
 	default:
-		return &selinger.Planner{Coster: c}
+		return &selinger.Planner{Coster: c, Workers: o.opts.Workers}
 	}
 }
 
 func (o *Optimizer) run(q *plan.Query, c *Coster) (*Decision, error) {
-	var before int64
-	if c.Resources != nil {
-		before = c.Resources.Evaluations()
-	}
 	start := time.Now()
-	res, err := o.planner(c).Plan(q)
+	res, err := o.planner(c, q).Plan(q)
 	if err != nil {
 		return nil, err
 	}
 	elapsed := time.Since(start)
-	var iters int64
-	if c.Resources != nil {
-		iters = c.Resources.Evaluations() - before
-	}
+	// The coster attributes resource iterations to its own calls exactly
+	// (resource.PlanWithCount), so concurrent queries sharing one resource
+	// planner or cache don't bleed into each other's metrics.
+	iters := c.ResourceIters()
 	return &Decision{
 		Plan:               res.Plan,
 		Time:               res.Cost.Seconds,
@@ -196,7 +224,6 @@ func (o *Optimizer) OptimizeForBudget(q *plan.Query, maxContainers int, maxConta
 // plan's operators are annotated in place.
 func (o *Optimizer) PlanResources(p *plan.Node) (*Decision, error) {
 	c := o.coster(o.opts.Resource, plan.Resources{}, o.cond)
-	before := o.opts.Resource.Evaluations()
 	start := time.Now()
 	oc, err := optimizer.PlanCost(c, p)
 	if err != nil {
@@ -206,7 +233,7 @@ func (o *Optimizer) PlanResources(p *plan.Node) (*Decision, error) {
 		Plan:               p,
 		Time:               oc.Seconds,
 		Money:              oc.Money,
-		ResourceIterations: o.opts.Resource.Evaluations() - before,
+		ResourceIterations: c.ResourceIters(),
 		Elapsed:            time.Since(start),
 	}, nil
 }
@@ -220,8 +247,7 @@ func (o *Optimizer) OptimizeForPrice(q *plan.Query, budget units.Dollars) (*Deci
 		return nil, fmt.Errorf("core: price budget must be positive, got %v", budget)
 	}
 	c := o.coster(o.opts.Resource, plan.Resources{}, o.cond)
-	rp := &randomized.Planner{Coster: c, Opts: o.opts.Randomized, RNG: o.rng}
-	before := o.opts.Resource.Evaluations()
+	rp := &randomized.Planner{Coster: c, Opts: o.opts.Randomized, Seed: o.seedFor(q), Workers: o.opts.Workers}
 	start := time.Now()
 	archive, considered, err := rp.PlanPareto(q)
 	if err != nil {
@@ -256,7 +282,7 @@ func (o *Optimizer) OptimizeForPrice(q *plan.Query, budget units.Dollars) (*Deci
 		Time:               best.Cost.Seconds,
 		Money:              best.Cost.Money,
 		PlansConsidered:    considered,
-		ResourceIterations: o.opts.Resource.Evaluations() - before,
+		ResourceIterations: c.ResourceIters(),
 		Elapsed:            elapsed,
 	}, nil
 }

@@ -142,8 +142,8 @@ func TestPlanCostSums(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.Calls != 2 {
-		t.Errorf("calls = %d, want 2", c.Calls)
+	if c.Calls.Load() != 2 {
+		t.Errorf("calls = %d, want 2", c.Calls.Load())
 	}
 	if oc.Seconds <= 0 || oc.Money <= 0 {
 		t.Errorf("cost = %+v", oc)

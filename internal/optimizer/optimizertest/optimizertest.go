@@ -5,6 +5,7 @@ package optimizertest
 
 import (
 	"errors"
+	"sync/atomic"
 
 	"raqo/internal/optimizer"
 	"raqo/internal/plan"
@@ -13,16 +14,16 @@ import (
 
 // SizeCoster prices a join by its input and output sizes (a C_out-style
 // cost), annotating every operator with a fixed resource configuration. It
-// is deterministic and makes join order matter, which is what planner tests
-// need.
+// is deterministic, safe for concurrent use, and makes join order matter,
+// which is what planner tests need.
 type SizeCoster struct {
 	Res   plan.Resources
-	Calls int
+	Calls atomic.Int64
 }
 
 // CostOperator implements optimizer.OperatorCoster.
 func (c *SizeCoster) CostOperator(j *plan.Node) (optimizer.OpCost, error) {
-	c.Calls++
+	c.Calls.Add(1)
 	j.Res = c.Res
 	secs := j.SmallerInputGB() + j.LargerInputGB() + j.OutputGB()
 	return optimizer.OpCost{

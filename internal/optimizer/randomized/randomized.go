@@ -4,11 +4,20 @@
 // mutations of Steinbrunn et al., maintaining an archive of plans that are
 // Pareto-optimal within a target approximation precision over (execution
 // time, monetary cost).
+//
+// The search restarts independently Options.Restarts times; restarts are
+// seeded deterministically from Planner.Seed and can run concurrently
+// (Planner.Workers). Archives merge in restart order under the same
+// (1+ε)-dominance rule, so a multi-restart run is reproducible regardless
+// of how many workers execute it.
 package randomized
 
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"raqo/internal/cost"
 	"raqo/internal/optimizer"
@@ -27,6 +36,9 @@ type Options struct {
 	Epsilon float64
 	// MutationsPerPlan bounds mutation retries per archived plan per round.
 	MutationsPerPlan int
+	// Restarts is the number of independent searches to run; their archives
+	// are merged. Defaults to 1 (the paper's single-search configuration).
+	Restarts int
 }
 
 func (o Options) withDefaults() Options {
@@ -42,6 +54,9 @@ func (o Options) withDefaults() Options {
 	if o.MutationsPerPlan <= 0 {
 		o.MutationsPerPlan = 4
 	}
+	if o.Restarts <= 0 {
+		o.Restarts = 1
+	}
 	return o
 }
 
@@ -49,8 +64,21 @@ func (o Options) withDefaults() Options {
 type Planner struct {
 	Coster optimizer.OperatorCoster
 	Opts   Options
-	// RNG is the source of randomness; required for reproducible planning.
+
+	// RNG, when set, drives a single-restart search exactly as in earlier
+	// versions (bit-identical plans for a given source). It cannot be shared
+	// across concurrent restarts, so with Opts.Restarts > 1 it is ignored
+	// and Seed is used instead.
 	RNG *rand.Rand
+
+	// Seed derives each restart's private RNG when RNG is nil. The zero
+	// value is a valid seed.
+	Seed int64
+
+	// Workers bounds how many restarts run concurrently: 0 or 1 is
+	// sequential; negative selects runtime.NumCPU(). With Workers > 1 the
+	// Coster must be safe for concurrent use.
+	Workers int
 }
 
 // ParetoEntry is one archived plan with its cost vector.
@@ -61,49 +89,54 @@ type ParetoEntry struct {
 
 func vec(c optimizer.OpCost) cost.Vector { return cost.Vector{Time: c.Seconds, Money: c.Money} }
 
-// PlanPareto runs the randomized search and returns the approximate Pareto
-// archive plus the number of candidate plans priced.
-func (p *Planner) PlanPareto(q *plan.Query) ([]ParetoEntry, int, error) {
-	if p.Coster == nil {
-		return nil, 0, fmt.Errorf("randomized: nil coster")
+// addEntry inserts e into the (1+eps)-Pareto archive: dropped if an
+// archived entry approximately dominates it, and evicting archived entries
+// it strictly dominates. Returns the updated archive.
+func addEntry(archive []ParetoEntry, e ParetoEntry, eps float64) []ParetoEntry {
+	cv := vec(e.Cost)
+	for _, a := range archive {
+		if vec(a.Cost).DominatesApprox(cv, eps) {
+			return archive
+		}
 	}
-	if p.RNG == nil {
-		return nil, 0, fmt.Errorf("randomized: nil RNG")
+	kept := archive[:0]
+	for _, a := range archive {
+		if !cv.Dominates(vec(a.Cost)) {
+			kept = append(kept, a)
+		}
 	}
-	opts := p.Opts.withDefaults()
+	return append(kept, e)
+}
 
+// restartSeed mixes the base seed with the restart index (splitmix64-style)
+// so restarts explore independent trajectories but stay reproducible.
+func restartSeed(base int64, i int) int64 {
+	z := uint64(base) + uint64(i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// searchOnce runs one seeded local search — the original single-RNG
+// algorithm — and returns its archive and the number of candidates priced.
+func (p *Planner) searchOnce(rng *rand.Rand, q *plan.Query, opts Options) ([]ParetoEntry, int, error) {
 	var archive []ParetoEntry
 	considered := 0
-	insert := func(n *plan.Node) error {
+	insert := func(n *plan.Node) {
 		oc, err := optimizer.PlanCost(p.Coster, n)
 		if err != nil {
-			return nil // infeasible candidate (e.g. OOM everywhere): skip
+			return // infeasible candidate (e.g. OOM everywhere): skip
 		}
 		considered++
-		cv := vec(oc)
-		for _, e := range archive {
-			if vec(e.Cost).DominatesApprox(cv, opts.Epsilon) {
-				return nil
-			}
-		}
-		kept := archive[:0]
-		for _, e := range archive {
-			if !cv.Dominates(vec(e.Cost)) {
-				kept = append(kept, e)
-			}
-		}
-		archive = append(kept, ParetoEntry{Plan: n, Cost: oc})
-		return nil
+		archive = addEntry(archive, ParetoEntry{Plan: n, Cost: oc}, opts.Epsilon)
 	}
 
 	for i := 0; i < opts.Seeds; i++ {
-		t, err := optimizer.RandomTree(p.RNG, q)
+		t, err := optimizer.RandomTree(rng, q)
 		if err != nil {
-			return nil, 0, err
+			return nil, considered, err
 		}
-		if err := insert(t); err != nil {
-			return nil, 0, err
-		}
+		insert(t)
 	}
 	if len(archive) == 0 {
 		return nil, considered, fmt.Errorf("randomized: no feasible seed plan for %v", q.Rels)
@@ -113,17 +146,87 @@ func (p *Planner) PlanPareto(q *plan.Query) ([]ParetoEntry, int, error) {
 		snapshot := append([]ParetoEntry(nil), archive...)
 		for _, e := range snapshot {
 			for m := 0; m < opts.MutationsPerPlan; m++ {
-				mut, ok := optimizer.Mutate(p.RNG, q.Schema, e.Plan)
+				mut, ok := optimizer.Mutate(rng, q.Schema, e.Plan)
 				if !ok {
 					continue
 				}
-				if err := insert(mut); err != nil {
-					return nil, 0, err
-				}
+				insert(mut)
 			}
 		}
 	}
 	return archive, considered, nil
+}
+
+func (p *Planner) workers(restarts int) int {
+	w := p.Workers
+	if w < 0 {
+		w = runtime.NumCPU()
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > restarts {
+		w = restarts
+	}
+	return w
+}
+
+// PlanPareto runs the randomized search and returns the approximate Pareto
+// archive plus the number of candidate plans priced.
+func (p *Planner) PlanPareto(q *plan.Query) ([]ParetoEntry, int, error) {
+	if p.Coster == nil {
+		return nil, 0, fmt.Errorf("randomized: nil coster")
+	}
+	opts := p.Opts.withDefaults()
+
+	if opts.Restarts == 1 {
+		rng := p.RNG
+		if rng == nil {
+			rng = rand.New(rand.NewSource(p.Seed))
+		}
+		return p.searchOnce(rng, q, opts)
+	}
+
+	type restartResult struct {
+		archive    []ParetoEntry
+		considered int
+		err        error
+	}
+	results := make([]restartResult, opts.Restarts)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers(opts.Restarts); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= opts.Restarts {
+					return
+				}
+				rng := rand.New(rand.NewSource(restartSeed(p.Seed, i)))
+				a, n, err := p.searchOnce(rng, q, opts)
+				results[i] = restartResult{archive: a, considered: n, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Deterministic merge: archives fold together in restart order under
+	// the same ε-dominance rule, without re-costing. Errors surface by
+	// lowest restart index so failures are reproducible too.
+	var merged []ParetoEntry
+	considered := 0
+	for i := range results {
+		if err := results[i].err; err != nil {
+			return nil, 0, fmt.Errorf("restart %d: %w", i, err)
+		}
+		considered += results[i].considered
+		for _, e := range results[i].archive {
+			merged = addEntry(merged, e, opts.Epsilon)
+		}
+	}
+	return merged, considered, nil
 }
 
 // Plan returns the archived plan with the lowest execution time — the

@@ -123,8 +123,9 @@ func TestPlanErrors(t *testing.T) {
 	if _, err := (&Planner{RNG: rand.New(rand.NewSource(1))}).Plan(q); err == nil {
 		t.Error("nil coster accepted")
 	}
-	if _, err := (&Planner{Coster: coster()}).Plan(q); err == nil {
-		t.Error("nil RNG accepted")
+	// A nil RNG is valid: the planner falls back to its Seed field.
+	if _, err := (&Planner{Coster: coster()}).Plan(q); err != nil {
+		t.Errorf("nil RNG (seed fallback): %v", err)
 	}
 	p := &Planner{Coster: optimizertest.FailingCoster{}, RNG: rand.New(rand.NewSource(1))}
 	if _, err := p.Plan(q); err == nil {
@@ -134,12 +135,12 @@ func TestPlanErrors(t *testing.T) {
 
 func TestOptionsDefaults(t *testing.T) {
 	o := Options{}.withDefaults()
-	if o.Iterations != 10 || o.Seeds != 10 || o.Epsilon != 0.1 || o.MutationsPerPlan != 4 {
+	if o.Iterations != 10 || o.Seeds != 10 || o.Epsilon != 0.1 || o.MutationsPerPlan != 4 || o.Restarts != 1 {
 		t.Errorf("defaults = %+v", o)
 	}
 	// Explicit values survive.
-	o2 := Options{Iterations: 3, Seeds: 2, Epsilon: 0.5, MutationsPerPlan: 1}.withDefaults()
-	if o2 != (Options{Iterations: 3, Seeds: 2, Epsilon: 0.5, MutationsPerPlan: 1}) {
+	o2 := Options{Iterations: 3, Seeds: 2, Epsilon: 0.5, MutationsPerPlan: 1, Restarts: 4}.withDefaults()
+	if o2 != (Options{Iterations: 3, Seeds: 2, Epsilon: 0.5, MutationsPerPlan: 1, Restarts: 4}) {
 		t.Errorf("explicit = %+v", o2)
 	}
 }

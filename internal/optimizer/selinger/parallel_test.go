@@ -1,0 +1,75 @@
+package selinger
+
+import (
+	"testing"
+
+	"raqo/internal/catalog"
+	"raqo/internal/optimizer/optimizertest"
+)
+
+// TestParallelMatchesSequential is the determinism guarantee for the
+// concurrent DP: for every worker count the plan must be bit-identical to
+// the sequential run — same tree, same resources, same cost, and the same
+// PlansConsidered count.
+func TestParallelMatchesSequential(t *testing.T) {
+	s := catalog.TPCH(10)
+	queries := [][]string{
+		{catalog.Lineitem, catalog.Orders},
+		{catalog.Lineitem, catalog.Orders, catalog.Customer},
+		{catalog.Customer, catalog.Orders, catalog.Nation, catalog.Region},
+		{catalog.Lineitem, catalog.Orders, catalog.Customer, catalog.Nation, catalog.Region},
+		{catalog.Part, catalog.PartSupp, catalog.Supplier, catalog.Nation, catalog.Lineitem},
+		s.Tables(), // all 8 TPC-H tables
+	}
+	for _, rels := range queries {
+		q := query(t, s, rels...)
+		seq := &Planner{Coster: coster()}
+		want, err := seq.Plan(q)
+		if err != nil {
+			t.Fatalf("%v: sequential: %v", rels, err)
+		}
+		for _, workers := range []int{2, 3, 8, -1} {
+			par := &Planner{Coster: coster(), Workers: workers}
+			got, err := par.Plan(q)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", rels, workers, err)
+			}
+			if g, w := got.Plan.SignatureWithResources(), want.Plan.SignatureWithResources(); g != w {
+				t.Errorf("%v workers=%d: plan mismatch\nparallel:   %s\nsequential: %s", rels, workers, g, w)
+			}
+			if got.PlansConsidered != want.PlansConsidered {
+				t.Errorf("%v workers=%d: considered %d != sequential %d",
+					rels, workers, got.PlansConsidered, want.PlansConsidered)
+			}
+			if got.Cost != want.Cost {
+				t.Errorf("%v workers=%d: cost %+v != sequential %+v", rels, workers, got.Cost, want.Cost)
+			}
+		}
+	}
+}
+
+// TestParallelWorkersExceedMasks covers levels with fewer masks than
+// workers (the pool must clamp, not deadlock or skip slots).
+func TestParallelWorkersExceedMasks(t *testing.T) {
+	s := catalog.TPCH(1)
+	q := query(t, s, catalog.Lineitem, catalog.Orders)
+	p := &Planner{Coster: coster(), Workers: 16}
+	res, err := p.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Plan.Validate(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelErrorPaths: a failing coster under the parallel path must
+// still report "no feasible plan" rather than hang.
+func TestParallelErrorPaths(t *testing.T) {
+	s := catalog.TPCH(1)
+	q := query(t, s, catalog.Lineitem, catalog.Orders, catalog.Customer)
+	p := &Planner{Coster: optimizertest.FailingCoster{}, Workers: 4}
+	if _, err := p.Plan(q); err == nil {
+		t.Error("failing coster accepted under parallel DP")
+	}
+}

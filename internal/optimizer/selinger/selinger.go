@@ -2,12 +2,24 @@
 // programming join-ordering algorithm over left-deep trees (Selinger et
 // al., SIGMOD 1979), with the per-operator costing hook that lets RAQO plug
 // resource planning into the enumeration.
+//
+// The DP can run its per-level enumeration concurrently (see
+// Planner.Workers): within one subset size every candidate's inputs come
+// from strictly smaller subsets, so the masks of a level are independent
+// and fan out across a worker pool. Each mask is costed by exactly one
+// worker in the same candidate order as the sequential DP and the level's
+// results merge back in ascending mask order, so the chosen plan — and the
+// PlansConsidered count — are bit-identical to the sequential run whenever
+// the coster is deterministic.
 package selinger
 
 import (
 	"fmt"
 	"math"
 	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"raqo/internal/optimizer"
 	"raqo/internal/plan"
@@ -21,13 +33,61 @@ const MaxRelations = 22
 // Planner is a Selinger-style left-deep query planner.
 type Planner struct {
 	// Coster prices each candidate join operator (and, in RAQO mode, plans
-	// its resources). Required.
+	// its resources). Required. With Workers > 1 it is called from several
+	// goroutines and must be safe for concurrent use.
 	Coster optimizer.OperatorCoster
+
+	// Workers bounds the per-DP-level fan-out: 0 or 1 runs the DP
+	// sequentially; negative selects runtime.NumCPU().
+	Workers int
 }
 
 type entry struct {
 	node *plan.Node
 	cost optimizer.OpCost
+}
+
+func (p *Planner) workers() int {
+	w := p.Workers
+	if w < 0 {
+		w = runtime.NumCPU()
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// bestFor prices every (subset, join-algo) candidate for one mask, reading
+// only entries of strictly smaller subsets from best. It preserves the
+// sequential DP's candidate order and strict-improvement tie-breaking, so
+// the winner is independent of which worker runs it.
+func (p *Planner) bestFor(mask uint32, best map[uint32]*entry, leaves []*plan.Node, q *plan.Query, considered *int64) *entry {
+	var bestE *entry
+	for sub := mask; sub != 0; sub &= sub - 1 {
+		i := bits.TrailingZeros32(sub)
+		rest := mask &^ (1 << uint(i))
+		prev, ok := best[rest]
+		if !ok {
+			continue // disconnected prefix
+		}
+		for _, algo := range plan.Algos {
+			j, err := plan.NewJoin(q.Schema, algo, prev.node, leaves[i])
+			if err != nil {
+				continue // cross product: relation i not joinable with rest
+			}
+			oc, err := p.Coster.CostOperator(j)
+			if err != nil {
+				continue // e.g. no feasible resources for this operator
+			}
+			*considered++
+			total := prev.cost.Add(oc)
+			if bestE == nil || total.Seconds < bestE.cost.Seconds {
+				bestE = &entry{node: j, cost: total}
+			}
+		}
+	}
+	return bestE
 }
 
 // Plan runs the DP and returns the cheapest (by time) left-deep plan.
@@ -52,40 +112,28 @@ func (p *Planner) Plan(q *plan.Query) (*optimizer.Result, error) {
 	for i := 0; i < n; i++ {
 		best[1<<uint(i)] = &entry{node: leaves[i]}
 	}
-	considered := 0
+	var considered int64
 
+	// Group masks by subset size, ascending within each level — the
+	// sequential iteration order.
 	full := uint32(1)<<uint(n) - 1
+	bySize := make([][]uint32, n+1)
+	for mask := uint32(1); mask <= full; mask++ {
+		if s := bits.OnesCount32(mask); s >= 2 {
+			bySize[s] = append(bySize[s], mask)
+		}
+	}
+
+	workers := p.workers()
 	for size := 2; size <= n; size++ {
-		for mask := uint32(1); mask <= full; mask++ {
-			if bits.OnesCount32(mask) != size {
-				continue
-			}
-			var bestE *entry
-			for sub := mask; sub != 0; sub &= sub - 1 {
-				i := bits.TrailingZeros32(sub)
-				rest := mask &^ (1 << uint(i))
-				prev, ok := best[rest]
-				if !ok {
-					continue // disconnected prefix
-				}
-				for _, algo := range plan.Algos {
-					j, err := plan.NewJoin(q.Schema, algo, prev.node, leaves[i])
-					if err != nil {
-						continue // cross product: relation i not joinable with rest
-					}
-					oc, err := p.Coster.CostOperator(j)
-					if err != nil {
-						continue // e.g. no feasible resources for this operator
-					}
-					considered++
-					total := prev.cost.Add(oc)
-					if bestE == nil || total.Seconds < bestE.cost.Seconds {
-						bestE = &entry{node: j, cost: total}
-					}
-				}
-			}
-			if bestE != nil {
-				best[mask] = bestE
+		masks := bySize[size]
+		if w := workers; w > 1 && len(masks) > 1 {
+			p.runLevel(masks, best, leaves, q, w, &considered)
+			continue
+		}
+		for _, mask := range masks {
+			if e := p.bestFor(mask, best, leaves, q, &considered); e != nil {
+				best[mask] = e
 			}
 		}
 	}
@@ -93,7 +141,43 @@ func (p *Planner) Plan(q *plan.Query) (*optimizer.Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("selinger: no feasible plan for %v", q.Rels)
 	}
-	return &optimizer.Result{Plan: e.node, Cost: e.cost, PlansConsidered: considered}, nil
+	return &optimizer.Result{Plan: e.node, Cost: e.cost, PlansConsidered: int(considered)}, nil
+}
+
+// runLevel fans one DP level's masks across a worker pool. Workers only
+// read best (entries of smaller subsets) and write disjoint slots of a
+// per-level result slice; the merge back into best is single-threaded and
+// in ascending mask order, keeping the table identical to a sequential run.
+func (p *Planner) runLevel(masks []uint32, best map[uint32]*entry, leaves []*plan.Node, q *plan.Query, workers int, considered *int64) {
+	if workers > len(masks) {
+		workers = len(masks)
+	}
+	results := make([]*entry, len(masks))
+	var next atomic.Int64
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local int64
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(masks) {
+					break
+				}
+				results[i] = p.bestFor(masks[i], best, leaves, q, &local)
+			}
+			total.Add(local)
+		}()
+	}
+	wg.Wait()
+	*considered += total.Load()
+	for i, e := range results {
+		if e != nil {
+			best[masks[i]] = e
+		}
+	}
 }
 
 // Exhaustive enumerates every left-deep join order and operator combination

@@ -36,6 +36,28 @@ type Planner interface {
 	Evaluations() int64
 }
 
+// Counted is an optional Planner extension that additionally reports how
+// many resource configurations one specific call priced. Evaluations() is a
+// global cumulative counter, so attributing work to a single call via a
+// before/after delta is a guess once calls run concurrently; PlanCounted
+// makes the attribution exact. All planners in this package implement it.
+type Counted interface {
+	Planner
+	PlanCounted(m cost.Model, ssGB float64, cond cluster.Conditions) (plan.Resources, int64, error)
+}
+
+// PlanWithCount plans via PlanCounted when the planner supports it, and
+// otherwise falls back to a Plan call bracketed by Evaluations deltas (exact
+// only while the planner is not shared across concurrent calls).
+func PlanWithCount(p Planner, m cost.Model, ssGB float64, cond cluster.Conditions) (plan.Resources, int64, error) {
+	if cp, ok := p.(Counted); ok {
+		return cp.PlanCounted(m, ssGB, cond)
+	}
+	before := p.Evaluations()
+	r, err := p.Plan(m, ssGB, cond)
+	return r, p.Evaluations() - before, err
+}
+
 // BruteForce explores every configuration in the space.
 type BruteForce struct {
 	evals atomic.Int64
@@ -43,8 +65,14 @@ type BruteForce struct {
 
 // Plan implements Planner.
 func (b *BruteForce) Plan(m cost.Model, ssGB float64, cond cluster.Conditions) (plan.Resources, error) {
+	r, _, err := b.PlanCounted(m, ssGB, cond)
+	return r, err
+}
+
+// PlanCounted implements Counted.
+func (b *BruteForce) PlanCounted(m cost.Model, ssGB float64, cond cluster.Conditions) (plan.Resources, int64, error) {
 	if err := cond.Validate(); err != nil {
-		return plan.Resources{}, err
+		return plan.Resources{}, 0, err
 	}
 	best := plan.Resources{}
 	bestCost := math.Inf(1)
@@ -59,9 +87,9 @@ func (b *BruteForce) Plan(m cost.Model, ssGB float64, cond cluster.Conditions) (
 	})
 	b.evals.Add(n)
 	if best.IsZero() {
-		return plan.Resources{}, fmt.Errorf("resource: empty configuration space %v", cond)
+		return plan.Resources{}, n, fmt.Errorf("resource: empty configuration space %v", cond)
 	}
-	return best, nil
+	return best, n, nil
 }
 
 // Evaluations implements Planner.
@@ -84,8 +112,14 @@ type HillClimb struct {
 // forward (within cluster conditions), keep the best improving step, and
 // stop when no step improves the current cost.
 func (h *HillClimb) Plan(m cost.Model, ssGB float64, cond cluster.Conditions) (plan.Resources, error) {
+	r, _, err := h.PlanCounted(m, ssGB, cond)
+	return r, err
+}
+
+// PlanCounted implements Counted.
+func (h *HillClimb) PlanCounted(m cost.Model, ssGB float64, cond cluster.Conditions) (plan.Resources, int64, error) {
 	if err := cond.Validate(); err != nil {
-		return plan.Resources{}, err
+		return plan.Resources{}, 0, err
 	}
 	cur := h.Start
 	if cur.IsZero() {
@@ -139,7 +173,7 @@ func (h *HillClimb) Plan(m cost.Model, ssGB float64, cond cluster.Conditions) (p
 		}
 		if bestCost >= curCost {
 			h.evals.Add(evals)
-			return cur, nil // local optimum: no improving neighbor
+			return cur, evals, nil // local optimum: no improving neighbor
 		}
 	}
 }
@@ -203,6 +237,24 @@ func (k IndexKind) String() string {
 // Cache wraps a Planner with the resource-plan cache: per cost model, an
 // index of data-characteristic keys (smaller input size) pointing at the
 // best known configuration. Safe for concurrent use.
+//
+// Concurrency design. The cache is lock-striped: entries live in per-bucket
+// indexes keyed by (cost-model name, key bucket), and each index hashes to
+// one of Stripes shards, each with its own RWMutex. Buckets are contiguous
+// key ranges at least ThresholdGB wide, so every lookup mode is answered
+// exactly by probing the key's bucket and its two neighbors — concurrent
+// planning of different operators therefore contends only when their data
+// characteristics hash to the same shard. Misses are deduplicated
+// singleflight-style per (model, key): concurrent misses on the same key
+// run the inner planner once, and the waiters share the leader's result
+// (counted as hits, since they consumed no inner evaluations).
+//
+// Invariant (insert-after-unlock race): an insert can never land in an
+// index dropped by Reset. Reset advances the cache generation before
+// dropping the shard maps, and a miss re-checks the generation while
+// holding the shard lock at insert time — a stale result computed against a
+// pre-Reset cache is returned to its callers but never inserted.
+// In-flight computations survive a Reset only to serve their waiters.
 type Cache struct {
 	Inner Planner
 	Mode  LookupMode
@@ -212,11 +264,89 @@ type Cache struct {
 	// Index selects the layout; the zero value is the paper's sorted
 	// array.
 	Index IndexKind
+	// Stripes is the number of lock shards; 0 selects the default (16).
+	// Stripes=1 degenerates to a single global lock (the pre-striping
+	// behavior, kept for the contention benchmarks). Must not be changed
+	// after the first Plan call.
+	Stripes int
 
-	mu      sync.Mutex
-	indexes map[string]keyIndex // one index per cost-model name
-	hits    atomic.Int64
-	misses  atomic.Int64
+	initOnce sync.Once
+	shards   []*cacheShard
+	width    float64 // bucket width, >= ThresholdGB
+	gen      atomic.Uint64
+	hits     atomic.Int64
+	misses   atomic.Int64
+}
+
+// defaultStripes is the shard count when Stripes is zero.
+const defaultStripes = 16
+
+// cacheShard is one lock stripe: the per-(model,bucket) indexes that hash
+// here plus the in-flight misses whose home bucket hashes here.
+type cacheShard struct {
+	mu      sync.RWMutex
+	indexes map[bucketKey]keyIndex
+	flights map[flightKey]*flight
+}
+
+// bucketKey addresses one index: a cost model and one contiguous key range.
+type bucketKey struct {
+	model  string
+	bucket int64
+}
+
+// flightKey identifies an in-flight miss by its exact key bits.
+type flightKey struct {
+	model string
+	bits  uint64
+}
+
+// flight is one in-flight inner-planner run; res/err are published before
+// done is closed.
+type flight struct {
+	done chan struct{}
+	res  plan.Resources
+	err  error
+}
+
+func (c *Cache) init() {
+	c.initOnce.Do(func() {
+		n := c.Stripes
+		if n <= 0 {
+			n = defaultStripes
+		}
+		c.shards = make([]*cacheShard, n)
+		for i := range c.shards {
+			c.shards[i] = &cacheShard{}
+		}
+		// Buckets must span at least the match threshold so a probe of the
+		// key's bucket ± 1 sees every entry within ThresholdGB.
+		c.width = c.ThresholdGB
+		if c.width < 1 {
+			c.width = 1
+		}
+	})
+}
+
+func (c *Cache) bucketOf(key float64) int64 { return int64(math.Floor(key / c.width)) }
+
+// shardFor hashes (model, bucket) onto a stripe (FNV-1a).
+func (c *Cache) shardFor(model string, bucket int64) *cacheShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(model); i++ {
+		h = (h ^ uint64(model[i])) * 1099511628211
+	}
+	for i := 0; i < 8; i++ {
+		h = (h ^ uint64(byte(bucket>>(8*i)))) * 1099511628211
+	}
+	return c.shards[h%uint64(len(c.shards))]
+}
+
+func (c *Cache) newIndex() keyIndex {
+	if c.Index == BPlusTree {
+		return newBPTree()
+	}
+	return &arrayIndex{}
 }
 
 // entryKV is one cached (data characteristic, configuration) pair.
@@ -332,42 +462,143 @@ func lookup(ix keyIndex, key float64, mode LookupMode, threshold float64, cond c
 	return plan.Resources{}, false
 }
 
-// Plan implements Planner: look up the cache first; on a miss, run the
-// inner planner and insert the result.
-func (c *Cache) Plan(m cost.Model, ssGB float64, cond cluster.Conditions) (plan.Resources, error) {
-	if c.Inner == nil {
-		return plan.Resources{}, fmt.Errorf("resource: cache has no inner planner")
-	}
-	c.mu.Lock()
-	if c.indexes == nil {
-		c.indexes = make(map[string]keyIndex)
-	}
-	ix, ok := c.indexes[m.Name()]
-	if !ok {
-		if c.Index == BPlusTree {
-			ix = newBPTree()
-		} else {
-			ix = &arrayIndex{}
+// probe answers a lookup by gathering candidates from the key's bucket and
+// its two neighbors (each read under its shard's read lock), then applying
+// the cache mode. Bucket width >= ThresholdGB guarantees the three buckets
+// cover every key within the threshold.
+func (c *Cache) probe(model string, key float64, cond cluster.Conditions) (plan.Resources, bool) {
+	b := c.bucketOf(key)
+	var nearestE entryKV
+	nearestOK := false
+	var neighbors []entryKV
+	for db := int64(-1); db <= 1; db++ {
+		s := c.shardFor(model, b+db)
+		s.mu.RLock()
+		ix := s.indexes[bucketKey{model, b + db}]
+		if ix != nil {
+			// Exact match is honored in every mode.
+			if v, ok := ix.exact(key); ok {
+				s.mu.RUnlock()
+				return v, true
+			}
+			switch c.Mode {
+			case NearestNeighbor:
+				if e, ok := ix.nearest(key); ok {
+					if !nearestOK || math.Abs(e.key-key) < math.Abs(nearestE.key-key) {
+						nearestE, nearestOK = e, true
+					}
+				}
+			case WeightedAverage:
+				neighbors = append(neighbors, ix.neighbors(key, c.ThresholdGB)...)
+			}
 		}
-		c.indexes[m.Name()] = ix
+		s.mu.RUnlock()
 	}
-	if r, hit := lookup(ix, ssGB, c.Mode, c.ThresholdGB, cond); hit {
-		c.mu.Unlock()
+	switch c.Mode {
+	case NearestNeighbor:
+		if nearestOK && math.Abs(nearestE.key-key) <= c.ThresholdGB {
+			return nearestE.val, true
+		}
+	case WeightedAverage:
+		var wSum, ncSum, gbSum float64
+		for _, e := range neighbors {
+			w := 1 / (math.Abs(e.key-key) + exactEps)
+			wSum += w
+			ncSum += w * float64(e.val.Containers)
+			gbSum += w * e.val.ContainerGB
+		}
+		if wSum > 0 {
+			r := plan.Resources{
+				Containers:  int(math.Round(ncSum / wSum)),
+				ContainerGB: gbSum / wSum,
+			}
+			return cond.Clamp(r), true
+		}
+	}
+	return plan.Resources{}, false
+}
+
+// Plan implements Planner: look up the cache first; on a miss, run the
+// inner planner (deduplicated against concurrent misses on the same key)
+// and insert the result.
+func (c *Cache) Plan(m cost.Model, ssGB float64, cond cluster.Conditions) (plan.Resources, error) {
+	r, _, err := c.PlanCounted(m, ssGB, cond)
+	return r, err
+}
+
+// PlanCounted implements Counted: cache hits and coalesced misses consume
+// zero inner evaluations; only the miss that runs the inner planner reports
+// that run's evaluations.
+func (c *Cache) PlanCounted(m cost.Model, ssGB float64, cond cluster.Conditions) (plan.Resources, int64, error) {
+	if c.Inner == nil {
+		return plan.Resources{}, 0, fmt.Errorf("resource: cache has no inner planner")
+	}
+	c.init()
+	model := m.Name()
+	if r, hit := c.probe(model, ssGB, cond); hit {
 		c.hits.Add(1)
 		// Across-query reuse can cross cluster-condition changes; snap the
 		// cached configuration onto the current grid.
-		return cond.Clamp(r), nil
+		return cond.Clamp(r), 0, nil
 	}
-	c.mu.Unlock()
+	// Miss: dedupe concurrent misses on the same key via the home shard's
+	// flight table.
+	bucket := c.bucketOf(ssGB)
+	s := c.shardFor(model, bucket)
+	fk := flightKey{model, math.Float64bits(ssGB)}
+	s.mu.Lock()
+	// Double-check: a racing leader may have inserted this exact key
+	// between our probe and taking the write lock.
+	if ix := s.indexes[bucketKey{model, bucket}]; ix != nil {
+		if v, ok := ix.exact(ssGB); ok {
+			s.mu.Unlock()
+			c.hits.Add(1)
+			return cond.Clamp(v), 0, nil
+		}
+	}
+	if fl, ok := s.flights[fk]; ok {
+		s.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return plan.Resources{}, 0, fl.err
+		}
+		c.hits.Add(1) // coalesced miss: served by the in-flight leader
+		return cond.Clamp(fl.res), 0, nil
+	}
+	fl := &flight{done: make(chan struct{})}
+	if s.flights == nil {
+		s.flights = make(map[flightKey]*flight)
+	}
+	s.flights[fk] = fl
+	gen := c.gen.Load()
+	s.mu.Unlock()
+
 	c.misses.Add(1)
-	r, err := c.Inner.Plan(m, ssGB, cond)
-	if err != nil {
-		return plan.Resources{}, err
+	r, n, err := PlanWithCount(c.Inner, m, ssGB, cond)
+	fl.res, fl.err = r, err
+
+	s.mu.Lock()
+	delete(s.flights, fk)
+	// Generation check: see the Cache doc comment — never insert a result
+	// computed against a cache that Reset has since dropped.
+	if err == nil && c.gen.Load() == gen {
+		bk := bucketKey{model, bucket}
+		ix := s.indexes[bk]
+		if ix == nil {
+			ix = c.newIndex()
+			if s.indexes == nil {
+				s.indexes = make(map[bucketKey]keyIndex)
+			}
+			s.indexes[bk] = ix
+		}
+		ix.insert(ssGB, r)
 	}
-	c.mu.Lock()
-	ix.insert(ssGB, r)
-	c.mu.Unlock()
-	return r, nil
+	s.mu.Unlock()
+	close(fl.done)
+	if err != nil {
+		return plan.Resources{}, n, err
+	}
+	return r, n, nil
 }
 
 // Evaluations implements Planner (delegates to the inner planner, so cache
@@ -382,19 +613,32 @@ func (c *Cache) Misses() int64 { return c.misses.Load() }
 
 // Reset clears every per-model index (the paper clears the cache before
 // each query except in the across-query caching experiment, Fig 15b).
+// In-flight misses are not interrupted: they complete, serve their waiters,
+// and are discarded rather than inserted (see the generation invariant on
+// Cache).
 func (c *Cache) Reset() {
-	c.mu.Lock()
-	c.indexes = nil
-	c.mu.Unlock()
+	c.init()
+	// Advance the generation before dropping any index so a concurrent
+	// insert either observes the bump (and skips) or lands before the drop
+	// (and is dropped with the index).
+	c.gen.Add(1)
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.indexes = nil
+		s.mu.Unlock()
+	}
 }
 
 // Size returns the total number of cached entries across models.
 func (c *Cache) Size() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.init()
 	n := 0
-	for _, ix := range c.indexes {
-		n += ix.size()
+	for _, s := range c.shards {
+		s.mu.RLock()
+		for _, ix := range s.indexes {
+			n += ix.size()
+		}
+		s.mu.RUnlock()
 	}
 	return n
 }
