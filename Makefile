@@ -3,9 +3,14 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-json
+.PHONY: check fmt vet build test race bench bench-json bench-serve-json smoke
 
-check: vet build race bench
+check: fmt vet build race bench smoke
+
+# Fail when any file needs gofmt.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -27,3 +32,12 @@ bench:
 # Record the concurrency benchmark numbers in BENCH_optimize.json.
 bench-json:
 	RAQO_BENCH_JSON=1 $(GO) test -run TestWriteBenchJSON .
+
+# Record the optimizer-service throughput/latency in BENCH_serve.json.
+bench-serve-json:
+	RAQO_BENCH_JSON=1 $(GO) test -run TestWriteServeBenchJSON .
+
+# End-to-end smoke test: start `raqo serve` on an ephemeral port, hit
+# /healthz and /v1/optimize, then check the SIGTERM drain.
+smoke:
+	sh scripts/smoke_serve.sh

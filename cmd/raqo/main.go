@@ -5,8 +5,9 @@
 // Usage:
 //
 //	raqo figure <fig1|fig2|...|fig15b|all>
-//	raqo optimize -query Q3 [-planner selinger|randomized] [-mode joint|fixed|budget|price]
-//	raqo batch [-queries Q12,Q3,Q2,All] [-parallel N] [-workers N] [-memo] [-cache GB]
+//	raqo optimize -query Q3 [-planner selinger|randomized] [-mode joint|fixed|budget|price] [-json]
+//	raqo batch [-queries Q12,Q3,Q2,All] [-parallel N] [-workers N] [-memo] [-cache GB] [-json]
+//	raqo serve [-addr :8080] [-planner selinger|randomized] [-inflight N] [-queue N]
 //	raqo trees [-engine hive|spark]
 //	raqo trace [-seed N]
 //	raqo simulate -query Q3 [-containers N] [-gb G]
@@ -20,6 +21,9 @@ import (
 
 	"raqo"
 	"raqo/internal/experiments"
+	"raqo/internal/resource"
+	"raqo/internal/server"
+	"raqo/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +39,8 @@ func main() {
 		err = optimizeCmd(os.Args[2:])
 	case "batch":
 		err = batchCmd(os.Args[2:])
+	case "serve":
+		err = serveCmd(os.Args[2:])
 	case "trees":
 		err = treesCmd(os.Args[2:])
 	case "trace":
@@ -62,6 +68,7 @@ func usage() {
   raqo figure <id|all>     regenerate a paper figure (fig1..fig15b)
   raqo optimize [flags]    jointly optimize a TPC-H query
   raqo batch [flags]       jointly optimize a multi-query workload concurrently
+  raqo serve [flags]       run the long-running optimizer HTTP service
   raqo trees [flags]       print default and RAQO decision trees
   raqo trace [flags]       simulate the shared-cluster queueing trace (fig 1)
   raqo simulate [flags]    execute an optimized plan on the engine simulator
@@ -103,6 +110,7 @@ func optimizeCmd(args []string) error {
 	sf := fs.Float64("sf", 100, "TPC-H scale factor")
 	cacheThreshold := fs.Float64("cache", 0, "resource-plan cache data-delta threshold in GB (0 = no cache)")
 	explain := fs.Bool("explain", false, "print the per-operator explanation")
+	jsonOut := fs.Bool("json", false, "emit the decision as JSON (the /v1/optimize wire format)")
 	trained := fs.Bool("trained", true, "train cost models on the simulator (false = paper coefficients)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -151,6 +159,21 @@ func optimizeCmd(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *jsonOut {
+		resp := server.NewOptimizeResponse(*query, *mode, opt.Planner(), d)
+		if !*explain {
+			return server.WriteJSON(os.Stdout, resp)
+		}
+		ops, err := opt.ExplainOperators(d)
+		if err != nil {
+			return err
+		}
+		return server.WriteJSON(os.Stdout, server.ExplainResponse{
+			OptimizeResponse: resp,
+			Operators:        server.NewExplainOperators(ops),
+			PlanTree:         d.Plan.String(),
+		})
+	}
 	if *explain {
 		out, err := opt.Explain(d)
 		if err != nil {
@@ -175,6 +198,7 @@ func batchCmd(args []string) error {
 	memo := fs.Bool("memo", false, "memoize operator costings across the batch")
 	cacheThreshold := fs.Float64("cache", 0, "resource-plan cache data-delta threshold in GB (0 = no cache)")
 	sf := fs.Float64("sf", 100, "TPC-H scale factor")
+	jsonOut := fs.Bool("json", false, "emit the batch result as JSON (the /v1/batch wire format)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -189,8 +213,10 @@ func batchCmd(args []string) error {
 		queries[i] = q
 	}
 	opts := raqo.Options{Workers: *workers, MemoizeCosts: *memo}
+	var cache *resource.Cache
 	if *cacheThreshold > 0 {
-		opts.Resource = raqo.CachedResourcePlanner(*cacheThreshold)
+		cache = raqo.CachedResourcePlanner(*cacheThreshold)
+		opts.Resource = cache
 	}
 	opt, err := raqo.NewOptimizer(raqo.DefaultConditions(), opts)
 	if err != nil {
@@ -200,15 +226,39 @@ func batchCmd(args []string) error {
 	if err != nil {
 		return err
 	}
+
+	// The batch summary reuses the service's telemetry registry: planner
+	// work accumulated per decision, cache and memo read at render time.
+	reg := telemetry.NewRegistry()
+	metrics := server.NewPlanningMetrics(reg)
+	metrics.AttachCache(cache)
+	metrics.AttachMemo(opt.Memo())
+	for _, d := range decisions {
+		metrics.ObserveDecision(d)
+	}
+
+	if *jsonOut {
+		resp := server.BatchResponse{Results: make([]server.OptimizeResponse, len(decisions))}
+		for i, d := range decisions {
+			resp.Results[i] = server.NewOptimizeResponse(strings.TrimSpace(names[i]), "joint", opt.Planner(), d)
+		}
+		if cache != nil {
+			cs := server.NewCacheStats(cache.Stats())
+			resp.Cache = &cs
+		}
+		if m := opt.Memo(); m != nil {
+			resp.Memo = &server.MemoStats{Hits: m.Hits(), Misses: m.Misses(), Entries: m.Size()}
+		}
+		return server.WriteJSON(os.Stdout, resp)
+	}
+
 	fmt.Printf("%-6s  %12s  %12s  %10s  %10s  %12s\n",
 		"query", "time", "cost", "plans", "res-iters", "elapsed")
 	for i, d := range decisions {
 		fmt.Printf("%-6s  %11.1fs  %12v  %10d  %10d  %12v\n",
 			names[i], d.Time, d.Money, d.PlansConsidered, d.ResourceIterations, d.Elapsed)
 	}
-	if m := opt.Memo(); m != nil {
-		fmt.Printf("\ncost memo: %d hits, %d misses, %d entries\n", m.Hits(), m.Misses(), m.Size())
-	}
+	fmt.Printf("\nstats: %s\n", reg.Summary())
 	return nil
 }
 

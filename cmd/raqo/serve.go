@@ -1,0 +1,70 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"raqo"
+	"raqo/internal/server"
+)
+
+// serveCmd runs the long-running optimizer service: the RAQO component of
+// the paper's Figure 8 architecture, serving joint (plan, resource)
+// decisions over HTTP with a process-wide warm cache, admission control
+// and Prometheus metrics. SIGINT/SIGTERM drain gracefully.
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address (host:port; :0 picks an ephemeral port)")
+	plannerName := fs.String("planner", "selinger", "query planner: selinger or randomized")
+	sf := fs.Float64("sf", 100, "TPC-H scale factor")
+	cacheThreshold := fs.Float64("cache", 1, "resource-plan cache data-delta threshold in GB")
+	inFlight := fs.Int("inflight", 0, "max concurrently planning requests (0 = max(2, NumCPU))")
+	queue := fs.Int("queue", 64, "admission wait-queue depth")
+	queueTimeout := fs.Duration("queue-timeout", 2*time.Second, "max time a request waits for an admission slot")
+	requestTimeout := fs.Duration("request-timeout", 30*time.Second, "max planning time per request")
+	trained := fs.Bool("trained", true, "train cost models on the simulator (false = paper coefficients)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := raqo.Options{}
+	switch *plannerName {
+	case "selinger":
+		opts.Planner = raqo.Selinger
+	case "randomized":
+		opts.Planner = raqo.FastRandomized
+	default:
+		return fmt.Errorf("unknown planner %q", *plannerName)
+	}
+	if *trained {
+		models, err := raqo.TrainModels(raqo.Hive())
+		if err != nil {
+			return err
+		}
+		opts.Models = models
+	}
+
+	s, err := server.New(server.Config{
+		SF:               *sf,
+		Options:          opts,
+		CacheThresholdGB: *cacheThreshold,
+		MaxInFlight:      *inFlight,
+		MaxQueue:         *queue,
+		QueueTimeout:     *queueTimeout,
+		RequestTimeout:   *requestTimeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return s.Serve(ctx, *addr, func(bound string) {
+		fmt.Printf("raqo serve: listening on %s (planner %s, sf %g)\n", bound, *plannerName, *sf)
+	})
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -27,6 +28,13 @@ import (
 // failures. The optimizer's conditions must not be changed (SetConditions)
 // while a batch is in flight.
 func (o *Optimizer) OptimizeBatch(queries []*plan.Query, parallelism int) ([]*Decision, error) {
+	return o.OptimizeBatchCtx(context.Background(), queries, parallelism)
+}
+
+// OptimizeBatchCtx is OptimizeBatch with cancellation: ctx is threaded
+// into every per-query planning search, so cancelling it stops in-flight
+// searches promptly and fails not-yet-started queries with ctx's error.
+func (o *Optimizer) OptimizeBatchCtx(ctx context.Context, queries []*plan.Query, parallelism int) ([]*Decision, error) {
 	if len(queries) == 0 {
 		return nil, nil
 	}
@@ -50,7 +58,7 @@ func (o *Optimizer) OptimizeBatch(queries []*plan.Query, parallelism int) ([]*De
 				if i >= len(queries) {
 					return
 				}
-				d, err := o.Optimize(queries[i])
+				d, err := o.OptimizeCtx(ctx, queries[i])
 				if err != nil {
 					errs[i] = fmt.Errorf("core: query %d (%v): %w", i, queries[i].Rels, err)
 					continue

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"raqo/internal/catalog"
+	"raqo/internal/cluster"
+	"raqo/internal/plan"
+)
+
+func TestOptimizeCtxCancelled(t *testing.T) {
+	sch := catalog.TPCH(100)
+	q, err := plan.NewQuery(sch, sch.Tables()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, planner := range []PlannerKind{Selinger, FastRandomized} {
+		opt, err := New(cluster.Default(), Options{Planner: planner})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := opt.OptimizeCtx(ctx, q); !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: OptimizeCtx err = %v, want context.Canceled", planner, err)
+		}
+		// The background-context path still plans normally.
+		if _, err := opt.Optimize(q); err != nil {
+			t.Errorf("%v: Optimize after cancelled call: %v", planner, err)
+		}
+	}
+}
+
+func TestOptimizeBatchCtxCancelled(t *testing.T) {
+	sch := catalog.TPCH(100)
+	var queries []*plan.Query
+	for _, rels := range [][]string{
+		{catalog.Lineitem, catalog.Orders},
+		{catalog.Customer, catalog.Orders, catalog.Lineitem},
+	} {
+		q, err := plan.NewQuery(sch, rels...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
+	opt, err := New(cluster.Default(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	decisions, err := opt.OptimizeBatchCtx(ctx, queries, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("OptimizeBatchCtx err = %v, want context.Canceled", err)
+	}
+	for i, d := range decisions {
+		if d != nil {
+			t.Errorf("decision %d non-nil under a pre-cancelled context", i)
+		}
+	}
+}
+
+func TestModeCtxVariantsCancelled(t *testing.T) {
+	sch := catalog.TPCH(100)
+	q, err := plan.NewQuery(sch, catalog.Customer, catalog.Orders, catalog.Lineitem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := New(cluster.Default(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := opt.OptimizeFixedCtx(ctx, q, plan.Resources{Containers: 10, ContainerGB: 3}); !errors.Is(err, context.Canceled) {
+		t.Errorf("OptimizeFixedCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := opt.OptimizeForBudgetCtx(ctx, q, 20, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("OptimizeForBudgetCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := opt.OptimizeForPriceCtx(ctx, q, 5); !errors.Is(err, context.Canceled) {
+		t.Errorf("OptimizeForPriceCtx err = %v, want context.Canceled", err)
+	}
+}

@@ -8,14 +8,71 @@ import (
 	"raqo/internal/units"
 )
 
+// OperatorExplain is the structured per-operator cost breakdown behind
+// Explain: one operator's implementation, chosen resources, modeled cost,
+// and the modeled cost of the alternative implementation at the same
+// resources. It is the machine-readable form served by the optimizer
+// service's /v1/explain endpoint.
+type OperatorExplain struct {
+	Algo        plan.JoinAlgo
+	Relations   []string
+	Res         plan.Resources
+	BuildSideGB float64
+	Seconds     float64
+	Money       units.Dollars
+	// AltAlgo/AltSeconds price the other join implementation at the same
+	// resources; AltOK is false when no model for it exists.
+	AltAlgo    plan.JoinAlgo
+	AltSeconds float64
+	AltOK      bool
+}
+
+// ExplainOperators computes the per-operator breakdown of a decision in
+// execution order.
+func (o *Optimizer) ExplainOperators(d *Decision) ([]OperatorExplain, error) {
+	if d == nil || d.Plan == nil {
+		return nil, fmt.Errorf("core: nothing to explain")
+	}
+	joins := d.Plan.Joins()
+	out := make([]OperatorExplain, 0, len(joins))
+	for _, j := range joins {
+		model, ok := o.opts.Models.For(j.Algo)
+		if !ok {
+			return nil, fmt.Errorf("core: no model for %s", j.Algo)
+		}
+		ss := j.SmallerInputGB()
+		secs := model.Cost(ss, j.Res.ContainerGB, float64(j.Res.Containers))
+		op := OperatorExplain{
+			Algo:        j.Algo,
+			Relations:   j.Relations(),
+			Res:         j.Res,
+			BuildSideGB: ss,
+			Seconds:     secs,
+			Money:       o.opts.Pricing.StageCost(j.Res, secs),
+		}
+		other := plan.SMJ
+		if j.Algo == plan.SMJ {
+			other = plan.BHJ
+		}
+		if altModel, ok := o.opts.Models.For(other); ok {
+			op.AltAlgo = other
+			op.AltSeconds = altModel.Cost(ss, j.Res.ContainerGB, float64(j.Res.Containers))
+			op.AltOK = true
+		}
+		out = append(out, op)
+	}
+	return out, nil
+}
+
 // Explain renders a joint decision the way the paper's Section VIII asks —
 // "How will the explain command look in such systems?" — one line per
 // operator with its implementation, its chosen resources, its modeled time
 // and money, and the modeled cost of the alternative implementation at the
 // same resources, so the user can see why each choice was made.
 func (o *Optimizer) Explain(d *Decision) (string, error) {
-	if d == nil || d.Plan == nil {
-		return "", fmt.Errorf("core: nothing to explain")
+	ops, err := o.ExplainOperators(d)
+	if err != nil {
+		return "", err
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "joint query/resource plan  (modeled %.1fs, %v; planned in %v)\n",
@@ -26,27 +83,14 @@ func (o *Optimizer) Explain(d *Decision) (string, error) {
 			d.PlansConsidered, d.ResourceIterations)
 	}
 	b.WriteString("\noperators (execution order):\n")
-	for i, j := range d.Plan.Joins() {
-		model, ok := o.opts.Models.For(j.Algo)
-		if !ok {
-			return "", fmt.Errorf("core: no model for %s", j.Algo)
-		}
-		ss := j.SmallerInputGB()
-		secs := model.Cost(ss, j.Res.ContainerGB, float64(j.Res.Containers))
-		money := o.opts.Pricing.StageCost(j.Res, secs)
-
-		other := plan.SMJ
-		if j.Algo == plan.SMJ {
-			other = plan.BHJ
-		}
+	for i, op := range ops {
 		alt := "n/a"
-		if altModel, ok := o.opts.Models.For(other); ok {
-			altSecs := altModel.Cost(ss, j.Res.ContainerGB, float64(j.Res.Containers))
-			alt = fmt.Sprintf("%s would cost %.1fs", other, altSecs)
+		if op.AltOK {
+			alt = fmt.Sprintf("%s would cost %.1fs", op.AltAlgo, op.AltSeconds)
 		}
 		fmt.Fprintf(&b, "  %d. %s(%s)  resources=%v  build-side=%s  modeled=%.1fs %v  [%s]\n",
-			i+1, j.Algo, strings.Join(j.Relations(), "⋈"), j.Res,
-			units.FromGB(ss), secs, money, alt)
+			i+1, op.Algo, strings.Join(op.Relations, "⋈"), op.Res,
+			units.FromGB(op.BuildSideGB), op.Seconds, op.Money, alt)
 	}
 	b.WriteString("\nplan tree:\n")
 	b.WriteString(d.Plan.String())

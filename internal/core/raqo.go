@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -105,6 +106,9 @@ func New(cond cluster.Conditions, opts Options) (*Optimizer, error) {
 // was set.
 func (o *Optimizer) Memo() *CostMemo { return o.memo }
 
+// Planner returns the configured query-planner kind.
+func (o *Optimizer) Planner() PlannerKind { return o.opts.Planner }
+
 // Conditions returns the cluster conditions the optimizer currently plans
 // against.
 func (o *Optimizer) Conditions() cluster.Conditions { return o.cond }
@@ -161,18 +165,18 @@ func (o *Optimizer) seedFor(q *plan.Query) int64 {
 	return o.opts.Seed ^ int64(h)
 }
 
-func (o *Optimizer) planner(c optimizer.OperatorCoster, q *plan.Query) optimizer.Planner {
+func (o *Optimizer) planner(ctx context.Context, c optimizer.OperatorCoster, q *plan.Query) optimizer.Planner {
 	switch o.opts.Planner {
 	case FastRandomized:
-		return &randomized.Planner{Coster: c, Opts: o.opts.Randomized, Seed: o.seedFor(q), Workers: o.opts.Workers}
+		return &randomized.Planner{Coster: c, Opts: o.opts.Randomized, Seed: o.seedFor(q), Workers: o.opts.Workers, Ctx: ctx}
 	default:
-		return &selinger.Planner{Coster: c, Workers: o.opts.Workers}
+		return &selinger.Planner{Coster: c, Workers: o.opts.Workers, Ctx: ctx}
 	}
 }
 
-func (o *Optimizer) run(q *plan.Query, c *Coster) (*Decision, error) {
+func (o *Optimizer) run(ctx context.Context, q *plan.Query, c *Coster) (*Decision, error) {
 	start := time.Now()
-	res, err := o.planner(c, q).Plan(q)
+	res, err := o.planner(ctx, c, q).Plan(q)
 	if err != nil {
 		return nil, err
 	}
@@ -195,16 +199,28 @@ func (o *Optimizer) run(q *plan.Query, c *Coster) (*Decision, error) {
 // configuration: the (p, r) mode, "useful when there are abundant or even
 // dedicated resources".
 func (o *Optimizer) Optimize(q *plan.Query) (*Decision, error) {
-	return o.run(q, o.coster(o.opts.Resource, plan.Resources{}, o.cond))
+	return o.OptimizeCtx(context.Background(), q)
+}
+
+// OptimizeCtx is Optimize with cancellation: the planner's search loop
+// observes ctx and returns ctx's error promptly after cancellation, so an
+// abandoned request stops consuming CPU.
+func (o *Optimizer) OptimizeCtx(ctx context.Context, q *plan.Query) (*Decision, error) {
+	return o.run(ctx, q, o.coster(o.opts.Resource, plan.Resources{}, o.cond))
 }
 
 // OptimizeFixed is the plain QO baseline: query planning only, pricing
 // every operator at the given fixed configuration.
 func (o *Optimizer) OptimizeFixed(q *plan.Query, r plan.Resources) (*Decision, error) {
+	return o.OptimizeFixedCtx(context.Background(), q, r)
+}
+
+// OptimizeFixedCtx is OptimizeFixed with cancellation.
+func (o *Optimizer) OptimizeFixedCtx(ctx context.Context, q *plan.Query, r plan.Resources) (*Decision, error) {
 	if !o.cond.Contains(r) {
 		return nil, fmt.Errorf("core: fixed configuration %v outside cluster conditions %v", r, o.cond)
 	}
-	return o.run(q, o.coster(nil, r, o.cond))
+	return o.run(ctx, q, o.coster(nil, r, o.cond))
 }
 
 // OptimizeForBudget is the r ⇒ p mode: "in case of constrained resources,
@@ -212,11 +228,16 @@ func (o *Optimizer) OptimizeFixed(q *plan.Query, r plan.Resources) (*Decision, e
 // best plan for a given resource budget". The search space is intersected
 // with the tenant quota before planning.
 func (o *Optimizer) OptimizeForBudget(q *plan.Query, maxContainers int, maxContainerGB float64) (*Decision, error) {
+	return o.OptimizeForBudgetCtx(context.Background(), q, maxContainers, maxContainerGB)
+}
+
+// OptimizeForBudgetCtx is OptimizeForBudget with cancellation.
+func (o *Optimizer) OptimizeForBudgetCtx(ctx context.Context, q *plan.Query, maxContainers int, maxContainerGB float64) (*Decision, error) {
 	restricted, err := o.cond.Restrict(maxContainers, maxContainerGB)
 	if err != nil {
 		return nil, err
 	}
-	return o.run(q, o.coster(o.opts.Resource, plan.Resources{}, restricted))
+	return o.run(ctx, q, o.coster(o.opts.Resource, plan.Resources{}, restricted))
 }
 
 // PlanResources is the p ⇒ (r, c) mode: the user is happy with a given
@@ -243,11 +264,16 @@ func (o *Optimizer) PlanResources(p *plan.Node) (*Decision, error) {
 // randomized multi-objective planner to obtain a Pareto archive over
 // (time, money) and picks the fastest entry under budget.
 func (o *Optimizer) OptimizeForPrice(q *plan.Query, budget units.Dollars) (*Decision, error) {
+	return o.OptimizeForPriceCtx(context.Background(), q, budget)
+}
+
+// OptimizeForPriceCtx is OptimizeForPrice with cancellation.
+func (o *Optimizer) OptimizeForPriceCtx(ctx context.Context, q *plan.Query, budget units.Dollars) (*Decision, error) {
 	if budget <= 0 {
 		return nil, fmt.Errorf("core: price budget must be positive, got %v", budget)
 	}
 	c := o.coster(o.opts.Resource, plan.Resources{}, o.cond)
-	rp := &randomized.Planner{Coster: c, Opts: o.opts.Randomized, Seed: o.seedFor(q), Workers: o.opts.Workers}
+	rp := &randomized.Planner{Coster: c, Opts: o.opts.Randomized, Seed: o.seedFor(q), Workers: o.opts.Workers, Ctx: ctx}
 	start := time.Now()
 	archive, considered, err := rp.PlanPareto(q)
 	if err != nil {

@@ -13,6 +13,7 @@
 package randomized
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -79,6 +80,11 @@ type Planner struct {
 	// sequential; negative selects runtime.NumCPU(). With Workers > 1 the
 	// Coster must be safe for concurrent use.
 	Workers int
+
+	// Ctx, when non-nil, is observed between search steps (per seed plan
+	// and per mutation batch): once it is cancelled the search stops and
+	// returns ctx.Err() promptly. nil searches to completion.
+	Ctx context.Context
 }
 
 // ParetoEntry is one archived plan with its cost vector.
@@ -119,7 +125,8 @@ func restartSeed(base int64, i int) int64 {
 
 // searchOnce runs one seeded local search — the original single-RNG
 // algorithm — and returns its archive and the number of candidates priced.
-func (p *Planner) searchOnce(rng *rand.Rand, q *plan.Query, opts Options) ([]ParetoEntry, int, error) {
+// ctx is observed per seed plan and per archived-plan mutation batch.
+func (p *Planner) searchOnce(ctx context.Context, rng *rand.Rand, q *plan.Query, opts Options) ([]ParetoEntry, int, error) {
 	var archive []ParetoEntry
 	considered := 0
 	insert := func(n *plan.Node) {
@@ -132,6 +139,9 @@ func (p *Planner) searchOnce(rng *rand.Rand, q *plan.Query, opts Options) ([]Par
 	}
 
 	for i := 0; i < opts.Seeds; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, considered, fmt.Errorf("randomized: search cancelled: %w", err)
+		}
 		t, err := optimizer.RandomTree(rng, q)
 		if err != nil {
 			return nil, considered, err
@@ -145,6 +155,9 @@ func (p *Planner) searchOnce(rng *rand.Rand, q *plan.Query, opts Options) ([]Par
 	for it := 0; it < opts.Iterations; it++ {
 		snapshot := append([]ParetoEntry(nil), archive...)
 		for _, e := range snapshot {
+			if err := ctx.Err(); err != nil {
+				return nil, considered, fmt.Errorf("randomized: search cancelled: %w", err)
+			}
 			for m := 0; m < opts.MutationsPerPlan; m++ {
 				mut, ok := optimizer.Mutate(rng, q.Schema, e.Plan)
 				if !ok {
@@ -178,13 +191,17 @@ func (p *Planner) PlanPareto(q *plan.Query) ([]ParetoEntry, int, error) {
 		return nil, 0, fmt.Errorf("randomized: nil coster")
 	}
 	opts := p.Opts.withDefaults()
+	ctx := p.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 
 	if opts.Restarts == 1 {
 		rng := p.RNG
 		if rng == nil {
 			rng = rand.New(rand.NewSource(p.Seed))
 		}
-		return p.searchOnce(rng, q, opts)
+		return p.searchOnce(ctx, rng, q, opts)
 	}
 
 	type restartResult struct {
@@ -205,7 +222,7 @@ func (p *Planner) PlanPareto(q *plan.Query) ([]ParetoEntry, int, error) {
 					return
 				}
 				rng := rand.New(rand.NewSource(restartSeed(p.Seed, i)))
-				a, n, err := p.searchOnce(rng, q, opts)
+				a, n, err := p.searchOnce(ctx, rng, q, opts)
 				results[i] = restartResult{archive: a, considered: n, err: err}
 			}
 		}()

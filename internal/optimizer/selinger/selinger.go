@@ -14,6 +14,7 @@
 package selinger
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -40,6 +41,12 @@ type Planner struct {
 	// Workers bounds the per-DP-level fan-out: 0 or 1 runs the DP
 	// sequentially; negative selects runtime.NumCPU().
 	Workers int
+
+	// Ctx, when non-nil, is observed between DP candidates: once it is
+	// cancelled, Plan stops costing further masks and returns ctx.Err()
+	// promptly, so an abandoned request stops burning CPU mid-search. nil
+	// plans to completion (context.Background semantics).
+	Ctx context.Context
 }
 
 type entry struct {
@@ -124,14 +131,23 @@ func (p *Planner) Plan(q *plan.Query) (*optimizer.Result, error) {
 		}
 	}
 
+	ctx := p.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	workers := p.workers()
 	for size := 2; size <= n; size++ {
 		masks := bySize[size]
 		if w := workers; w > 1 && len(masks) > 1 {
-			p.runLevel(masks, best, leaves, q, w, &considered)
+			if err := p.runLevel(ctx, masks, best, leaves, q, w, &considered); err != nil {
+				return nil, err
+			}
 			continue
 		}
 		for _, mask := range masks {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("selinger: planning cancelled: %w", err)
+			}
 			if e := p.bestFor(mask, best, leaves, q, &considered); e != nil {
 				best[mask] = e
 			}
@@ -148,7 +164,9 @@ func (p *Planner) Plan(q *plan.Query) (*optimizer.Result, error) {
 // read best (entries of smaller subsets) and write disjoint slots of a
 // per-level result slice; the merge back into best is single-threaded and
 // in ascending mask order, keeping the table identical to a sequential run.
-func (p *Planner) runLevel(masks []uint32, best map[uint32]*entry, leaves []*plan.Node, q *plan.Query, workers int, considered *int64) {
+// Cancellation is checked before each claimed mask; a cancelled level
+// returns ctx's error without merging, since the table would be partial.
+func (p *Planner) runLevel(ctx context.Context, masks []uint32, best map[uint32]*entry, leaves []*plan.Node, q *plan.Query, workers int, considered *int64) error {
 	if workers > len(masks) {
 		workers = len(masks)
 	}
@@ -163,7 +181,7 @@ func (p *Planner) runLevel(masks []uint32, best map[uint32]*entry, leaves []*pla
 			var local int64
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(masks) {
+				if i >= len(masks) || ctx.Err() != nil {
 					break
 				}
 				results[i] = p.bestFor(masks[i], best, leaves, q, &local)
@@ -172,12 +190,16 @@ func (p *Planner) runLevel(masks []uint32, best map[uint32]*entry, leaves []*pla
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("selinger: planning cancelled: %w", err)
+	}
 	*considered += total.Load()
 	for i, e := range results {
 		if e != nil {
 			best[masks[i]] = e
 		}
 	}
+	return nil
 }
 
 // Exhaustive enumerates every left-deep join order and operator combination

@@ -270,12 +270,14 @@ type Cache struct {
 	// after the first Plan call.
 	Stripes int
 
-	initOnce sync.Once
-	shards   []*cacheShard
-	width    float64 // bucket width, >= ThresholdGB
-	gen      atomic.Uint64
-	hits     atomic.Int64
-	misses   atomic.Int64
+	initOnce  sync.Once
+	shards    []*cacheShard
+	width     float64 // bucket width, >= ThresholdGB
+	gen       atomic.Uint64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	deduped   atomic.Int64
+	evictions atomic.Int64
 }
 
 // defaultStripes is the shard count when Stripes is zero.
@@ -563,6 +565,7 @@ func (c *Cache) PlanCounted(m cost.Model, ssGB float64, cond cluster.Conditions)
 			return plan.Resources{}, 0, fl.err
 		}
 		c.hits.Add(1) // coalesced miss: served by the in-flight leader
+		c.deduped.Add(1)
 		return cond.Clamp(fl.res), 0, nil
 	}
 	fl := &flight{done: make(chan struct{})}
@@ -611,6 +614,42 @@ func (c *Cache) Hits() int64 { return c.hits.Load() }
 // Misses returns the number of cache misses so far.
 func (c *Cache) Misses() int64 { return c.misses.Load() }
 
+// Stats is a point-in-time snapshot of the cache's counters — the stable
+// export consumed by the service's /metrics endpoint and the CLI batch
+// summary.
+type Stats struct {
+	// Hits counts lookups served without running the inner planner,
+	// including coalesced misses (see Deduped).
+	Hits int64
+	// Misses counts lookups that ran the inner planner.
+	Misses int64
+	// Deduped counts singleflight-coalesced loads: concurrent misses on a
+	// key already being computed that were served by the leader's result.
+	// Deduped lookups are also counted in Hits (they consumed no inner
+	// evaluations).
+	Deduped int64
+	// Evictions counts entries dropped by Reset calls.
+	Evictions int64
+	// Entries is the number of currently cached configurations.
+	Entries int
+	// Generation increments on every Reset (the insert-after-Reset guard).
+	Generation uint64
+}
+
+// Stats returns a snapshot of the cache counters. Counters are read
+// individually, so a snapshot taken under concurrent use is approximate
+// across fields but each field is exact.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Deduped:    c.deduped.Load(),
+		Evictions:  c.evictions.Load(),
+		Entries:    c.Size(),
+		Generation: c.gen.Load(),
+	}
+}
+
 // Reset clears every per-model index (the paper clears the cache before
 // each query except in the across-query caching experiment, Fig 15b).
 // In-flight misses are not interrupted: they complete, serve their waiters,
@@ -622,11 +661,16 @@ func (c *Cache) Reset() {
 	// insert either observes the bump (and skips) or lands before the drop
 	// (and is dropped with the index).
 	c.gen.Add(1)
+	dropped := int64(0)
 	for _, s := range c.shards {
 		s.mu.Lock()
+		for _, ix := range s.indexes {
+			dropped += int64(ix.size())
+		}
 		s.indexes = nil
 		s.mu.Unlock()
 	}
+	c.evictions.Add(dropped)
 }
 
 // Size returns the total number of cached entries across models.

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"raqo/internal/telemetry"
+)
+
+// errOverloaded reports that a request could not be admitted: every
+// in-flight slot is busy and the wait queue is full, or the request's
+// queue deadline expired before a slot freed up. The HTTP layer maps it
+// to 429 + Retry-After — shedding load instead of collapsing, the serving
+// analogue of internal/scheduler's bounded Wait policy.
+var errOverloaded = errors.New("server: overloaded, retry later")
+
+// admission bounds the optimizer work in flight. It is the service-side
+// restatement of internal/scheduler's admission semantics: a fixed number
+// of in-flight slots (the cluster capacity), a bounded FIFO wait queue
+// with a per-request deadline (the Wait policy, but with a cap), and
+// rejection once the queue is full (429 instead of unbounded queueing —
+// the Figure 1 pathology the paper opens with).
+//
+// FIFO ordering comes from the Go runtime: goroutines blocked sending on
+// slots are released in arrival order.
+type admission struct {
+	slots    chan struct{}
+	maxQueue int64
+	timeout  time.Duration
+
+	queued atomic.Int64
+	gauge  *telemetry.Gauge // mirrors queued; may be nil
+}
+
+// newAdmission builds an admission controller with maxInFlight slots, a
+// maxQueue-deep wait queue and a per-request queue deadline.
+func newAdmission(maxInFlight, maxQueue int, timeout time.Duration, queuedGauge *telemetry.Gauge) *admission {
+	return &admission{
+		slots:    make(chan struct{}, maxInFlight),
+		maxQueue: int64(maxQueue),
+		timeout:  timeout,
+		gauge:    queuedGauge,
+	}
+}
+
+// acquire blocks until the request holds an in-flight slot, its queue
+// deadline expires (errOverloaded), the queue is already full
+// (errOverloaded, immediately), or ctx is cancelled (ctx.Err()). Callers
+// must release() after the work when acquire returns nil.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return errOverloaded
+	}
+	if a.gauge != nil {
+		a.gauge.Inc()
+	}
+	defer func() {
+		a.queued.Add(-1)
+		if a.gauge != nil {
+			a.gauge.Dec()
+		}
+	}()
+	timer := time.NewTimer(a.timeout)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-timer.C:
+		return errOverloaded
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release frees the slot taken by a successful acquire.
+func (a *admission) release() { <-a.slots }

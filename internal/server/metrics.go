@@ -1,0 +1,92 @@
+package server
+
+import (
+	"raqo/internal/core"
+	"raqo/internal/resource"
+	"raqo/internal/telemetry"
+)
+
+// Metrics is the service's metric set over a telemetry.Registry. The HTTP
+// fields are only populated by NewMetrics (the serving path);
+// NewPlanningMetrics registers just the planner/cache families, which is
+// what `raqo batch` prints as its one-line summary.
+type Metrics struct {
+	Registry *telemetry.Registry
+
+	// Planner work.
+	Plans    *telemetry.Counter // raqo_plans_considered_total
+	ResIters *telemetry.Counter // raqo_resource_iterations_total
+
+	// HTTP serving (nil under NewPlanningMetrics).
+	Requests  *telemetry.CounterVec   // raqo_http_requests_total{endpoint}
+	Responses *telemetry.CounterVec   // raqo_http_responses_total{code}
+	Latency   *telemetry.HistogramVec // raqo_http_request_seconds{endpoint}
+	InFlight  *telemetry.Gauge        // raqo_http_in_flight
+	Queued    *telemetry.Gauge        // raqo_http_queued
+	Rejected  *telemetry.Counter      // raqo_http_rejected_total
+	Cancelled *telemetry.Counter      // raqo_http_cancelled_total
+}
+
+// NewPlanningMetrics registers the planner-work counters only.
+func NewPlanningMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		Registry: reg,
+		Plans:    reg.Counter("raqo_plans_considered_total", "Candidate sub-plans priced by the query planner."),
+		ResIters: reg.Counter("raqo_resource_iterations_total", "Resource configurations explored by the resource planner."),
+	}
+}
+
+// NewMetrics registers the full serving metric set.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	m := NewPlanningMetrics(reg)
+	m.Requests = reg.CounterVec("raqo_http_requests_total", "HTTP requests received, by endpoint.", "endpoint")
+	m.Responses = reg.CounterVec("raqo_http_responses_total", "HTTP responses sent, by status code.", "code")
+	m.Latency = reg.HistogramVec("raqo_http_request_seconds", "HTTP request latency in seconds, by endpoint.", "endpoint", nil)
+	m.InFlight = reg.Gauge("raqo_http_in_flight", "Requests currently holding an admission slot.")
+	m.Queued = reg.Gauge("raqo_http_queued", "Requests waiting in the admission queue.")
+	m.Rejected = reg.Counter("raqo_http_rejected_total", "Requests rejected with 429 by admission control.")
+	m.Cancelled = reg.Counter("raqo_http_cancelled_total", "Requests abandoned by the client before completion.")
+	return m
+}
+
+// ObserveDecision accumulates one decision's planner-work counters.
+func (m *Metrics) ObserveDecision(d *core.Decision) {
+	if d == nil {
+		return
+	}
+	m.Plans.Add(int64(d.PlansConsidered))
+	m.ResIters.Add(d.ResourceIterations)
+}
+
+// AttachCache exports the resource-plan cache's stats snapshot as
+// func-backed metrics, read live at scrape time.
+func (m *Metrics) AttachCache(c *resource.Cache) {
+	if c == nil {
+		return
+	}
+	reg := m.Registry
+	reg.CounterFunc("raqo_resource_cache_hits_total", "Resource-plan cache hits (including singleflight-deduped loads).",
+		func() float64 { return float64(c.Stats().Hits) })
+	reg.CounterFunc("raqo_resource_cache_misses_total", "Resource-plan cache misses that ran the inner planner.",
+		func() float64 { return float64(c.Stats().Misses) })
+	reg.CounterFunc("raqo_resource_cache_deduped_total", "Concurrent misses coalesced onto an in-flight load.",
+		func() float64 { return float64(c.Stats().Deduped) })
+	reg.CounterFunc("raqo_resource_cache_evictions_total", "Cached configurations dropped by Reset.",
+		func() float64 { return float64(c.Stats().Evictions) })
+	reg.GaugeFunc("raqo_resource_cache_entries", "Configurations currently cached.",
+		func() float64 { return float64(c.Stats().Entries) })
+}
+
+// AttachMemo exports the operator-cost memo's counters.
+func (m *Metrics) AttachMemo(cm *core.CostMemo) {
+	if cm == nil {
+		return
+	}
+	reg := m.Registry
+	reg.CounterFunc("raqo_cost_memo_hits_total", "Operator-cost memo hits.",
+		func() float64 { return float64(cm.Hits()) })
+	reg.CounterFunc("raqo_cost_memo_misses_total", "Operator-cost memo misses.",
+		func() float64 { return float64(cm.Misses()) })
+	reg.GaugeFunc("raqo_cost_memo_entries", "Operator costings currently memoized.",
+		func() float64 { return float64(cm.Size()) })
+}

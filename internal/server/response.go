@@ -1,0 +1,167 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+
+	"raqo/internal/core"
+	"raqo/internal/plan"
+	"raqo/internal/resource"
+)
+
+// This file defines the service's wire types. They are shared with
+// cmd/raqo's -json output so the CLI and the API emit byte-identical
+// machine-readable results through the one encoder below.
+
+// OptimizeRequest is the body of POST /v1/optimize. Exactly one of Query
+// (a TPC-H evaluation query name: Q12, Q3, Q2, All) or Relations (an
+// explicit relation list validated against the schema's join graph) names
+// the logical query.
+type OptimizeRequest struct {
+	Query     string   `json:"query,omitempty"`
+	Relations []string `json:"relations,omitempty"`
+	// Mode is one of the Section IV use-case modes: "joint" (default),
+	// "fixed", "budget" or "price".
+	Mode string `json:"mode,omitempty"`
+	// Containers/ContainerGB are the fixed configuration (fixed mode) or
+	// the tenant quota (budget mode).
+	Containers  int     `json:"containers,omitempty"`
+	ContainerGB float64 `json:"containerGB,omitempty"`
+	// BudgetDollars is the price mode's monetary budget.
+	BudgetDollars float64 `json:"budgetDollars,omitempty"`
+}
+
+// OptimizeResponse is one joint query/resource decision on the wire. Plan
+// uses plan.Node's JSON form, so it round-trips through plan.Decode
+// against the same schema.
+type OptimizeResponse struct {
+	Query              string     `json:"query"`
+	Mode               string     `json:"mode"`
+	Planner            string     `json:"planner"`
+	TimeSeconds        float64    `json:"timeSeconds"`
+	MoneyDollars       float64    `json:"moneyDollars"`
+	PlansConsidered    int        `json:"plansConsidered"`
+	ResourceIterations int64      `json:"resourceIterations"`
+	ElapsedMicros      int64      `json:"elapsedMicros"`
+	Plan               *plan.Node `json:"plan"`
+}
+
+// NewOptimizeResponse converts a core Decision into its wire form.
+func NewOptimizeResponse(query, mode string, planner core.PlannerKind, d *core.Decision) OptimizeResponse {
+	return OptimizeResponse{
+		Query:              query,
+		Mode:               mode,
+		Planner:            planner.String(),
+		TimeSeconds:        d.Time,
+		MoneyDollars:       float64(d.Money),
+		PlansConsidered:    d.PlansConsidered,
+		ResourceIterations: d.ResourceIterations,
+		ElapsedMicros:      d.Elapsed.Microseconds(),
+		Plan:               d.Plan,
+	}
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Queries []string `json:"queries"`
+	// Parallel bounds inter-query concurrency; 0 selects NumCPU.
+	Parallel int `json:"parallel,omitempty"`
+}
+
+// CacheStats is the resource-plan cache snapshot on the wire.
+type CacheStats struct {
+	Hits       int64  `json:"hits"`
+	Misses     int64  `json:"misses"`
+	Deduped    int64  `json:"deduped"`
+	Evictions  int64  `json:"evictions"`
+	Entries    int    `json:"entries"`
+	Generation uint64 `json:"generation"`
+}
+
+// NewCacheStats converts a resource.Stats snapshot.
+func NewCacheStats(s resource.Stats) CacheStats {
+	return CacheStats{
+		Hits:       s.Hits,
+		Misses:     s.Misses,
+		Deduped:    s.Deduped,
+		Evictions:  s.Evictions,
+		Entries:    s.Entries,
+		Generation: s.Generation,
+	}
+}
+
+// MemoStats is the operator-cost memo snapshot on the wire.
+type MemoStats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+}
+
+// BatchResponse is the body of a successful POST /v1/batch: per-query
+// decisions in request order plus the planning-cache state after the
+// batch (the cross-query warm-cache effect of Figures 14/15b).
+type BatchResponse struct {
+	Results []OptimizeResponse `json:"results"`
+	Cache   *CacheStats        `json:"cache,omitempty"`
+	Memo    *MemoStats         `json:"memo,omitempty"`
+}
+
+// ExplainOperator is one operator of the /v1/explain cost breakdown.
+type ExplainOperator struct {
+	Algo           string   `json:"algo"`
+	Relations      []string `json:"relations"`
+	Containers     int      `json:"containers"`
+	ContainerGB    float64  `json:"containerGB"`
+	BuildSideGB    float64  `json:"buildSideGB"`
+	ModeledSeconds float64  `json:"modeledSeconds"`
+	ModeledDollars float64  `json:"modeledDollars"`
+	// AltAlgo/AltSeconds price the other implementation at the same
+	// resources, when a model for it exists.
+	AltAlgo    string  `json:"altAlgo,omitempty"`
+	AltSeconds float64 `json:"altSeconds,omitempty"`
+}
+
+// ExplainResponse is the body of GET /v1/explain/{query}: the decision,
+// its per-operator cost breakdown, and the rendered plan tree.
+type ExplainResponse struct {
+	OptimizeResponse
+	Operators []ExplainOperator `json:"operators"`
+	PlanTree  string            `json:"planTree"`
+}
+
+// NewExplainOperators converts core's structured explanation.
+func NewExplainOperators(ops []core.OperatorExplain) []ExplainOperator {
+	out := make([]ExplainOperator, 0, len(ops))
+	for _, op := range ops {
+		e := ExplainOperator{
+			Algo:           op.Algo.String(),
+			Relations:      op.Relations,
+			Containers:     op.Res.Containers,
+			ContainerGB:    op.Res.ContainerGB,
+			BuildSideGB:    op.BuildSideGB,
+			ModeledSeconds: op.Seconds,
+			ModeledDollars: float64(op.Money),
+		}
+		if op.AltOK {
+			e.AltAlgo = op.AltAlgo.String()
+			e.AltSeconds = op.AltSeconds
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// ErrorResponse is every non-2xx JSON body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// WriteJSON is the one encoder both the HTTP handlers and the CLI -json
+// flags use: two-space indented, trailing newline, HTML escaping off so
+// plan trees and query names render verbatim.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	return enc.Encode(v)
+}

@@ -1,0 +1,450 @@
+// Package server turns the RAQO library into the long-running optimizer
+// service the paper's Figure 8 architecture describes: a component inside
+// a shared big-data system that answers joint (plan, resource) requests
+// continuously. A process-wide warm resource-plan cache and operator-cost
+// memo realize the cross-query reuse of Figures 14/15b in serving;
+// admission control bounds in-flight planning work (bounded slots + FIFO
+// wait queue + 429 on overload, the serving restatement of
+// internal/scheduler's policies); request contexts are threaded into the
+// planner search loops so abandoned requests stop burning CPU.
+//
+// Endpoints:
+//
+//	POST /v1/optimize         one query, modes joint|fixed|budget|price
+//	POST /v1/batch            concurrent workload via core.OptimizeBatch
+//	GET  /v1/explain/{query}  plan tree + resources + cost breakdown
+//	GET  /healthz             liveness
+//	GET  /metrics             Prometheus text exposition (internal/telemetry)
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"raqo/internal/catalog"
+	"raqo/internal/cluster"
+	"raqo/internal/core"
+	"raqo/internal/plan"
+	"raqo/internal/resource"
+	"raqo/internal/telemetry"
+	"raqo/internal/units"
+	"raqo/internal/workload"
+)
+
+// statusClientClosedRequest is nginx's convention for "client went away
+// before the response"; the body is never seen, but the access log and
+// the response-code metric are.
+const statusClientClosedRequest = 499
+
+// Config configures a Server. Zero values select serving defaults.
+type Config struct {
+	// SF is the TPC-H scale factor of the served schema; 0 selects 100
+	// (the paper's evaluation scale).
+	SF float64
+	// Conditions is the cluster the optimizer plans against; zero selects
+	// cluster.Default().
+	Conditions cluster.Conditions
+	// Options configures the shared optimizer. When Options.Resource is
+	// nil a process-wide resource-plan cache (nearest-neighbor,
+	// CacheThresholdGB) is installed; MemoizeCosts is forced on so the
+	// cost memo stays warm across requests.
+	Options core.Options
+	// CacheThresholdGB is the installed cache's data-delta threshold;
+	// 0 selects 1 GB.
+	CacheThresholdGB float64
+	// DisableCostMemo turns off the shared operator-cost memo (on by
+	// default in serving so repeated sub-problems skip costing entirely).
+	// With the memo off every costing consults the resource-plan cache,
+	// which is the configuration that exercises the cache's concurrency.
+	DisableCostMemo bool
+
+	// MaxInFlight bounds concurrently planning requests; 0 selects
+	// max(2, NumCPU).
+	MaxInFlight int
+	// MaxQueue bounds the admission wait queue; 0 selects 64.
+	MaxQueue int
+	// QueueTimeout is the per-request admission deadline; 0 selects 2s.
+	QueueTimeout time.Duration
+	// RequestTimeout bounds one request's planning time; 0 selects 30s.
+	RequestTimeout time.Duration
+	// RetryAfter is advertised on 429 responses; 0 selects 1s.
+	RetryAfter time.Duration
+	// DrainTimeout bounds graceful shutdown; 0 selects 10s.
+	DrainTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.SF == 0 {
+		c.SF = 100
+	}
+	if c.Conditions == (cluster.Conditions{}) {
+		c.Conditions = cluster.Default()
+	}
+	if c.CacheThresholdGB == 0 {
+		c.CacheThresholdGB = 1
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = max(2, runtime.NumCPU())
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.QueueTimeout == 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Server is the RAQO optimizer service.
+type Server struct {
+	cfg     Config
+	sch     *catalog.Schema
+	opt     *core.Optimizer
+	cache   *resource.Cache // nil when the caller supplied Options.Resource
+	metrics *Metrics
+	admit   *admission
+	mux     *http.ServeMux
+	start   time.Time
+}
+
+// New builds a Server: schema, shared warm optimizer, metric registry and
+// routes. The returned server is ready to serve via Handler or Serve.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	opts := cfg.Options
+	var cache *resource.Cache
+	if opts.Resource == nil {
+		cache = &resource.Cache{
+			Inner:       &resource.HillClimb{},
+			Mode:        resource.NearestNeighbor,
+			ThresholdGB: cfg.CacheThresholdGB,
+		}
+		opts.Resource = cache
+	} else if c, ok := opts.Resource.(*resource.Cache); ok {
+		cache = c
+	}
+	opts.MemoizeCosts = !cfg.DisableCostMemo
+	opt, err := core.New(cfg.Conditions, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg)
+	m.AttachCache(cache)
+	m.AttachMemo(opt.Memo())
+
+	s := &Server{
+		cfg:     cfg,
+		sch:     catalog.TPCH(cfg.SF),
+		opt:     opt,
+		cache:   cache,
+		metrics: m,
+		admit:   newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueTimeout, m.Queued),
+		start:   time.Now(),
+	}
+	reg.GaugeFunc("raqo_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/optimize", s.instrument("/v1/optimize", s.handleOptimize))
+	mux.HandleFunc("POST /v1/batch", s.instrument("/v1/batch", s.handleBatch))
+	mux.HandleFunc("GET /v1/explain/{query}", s.instrument("/v1/explain", s.handleExplain))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	s.mux = mux
+	return s, nil
+}
+
+// Metrics returns the server's metric set (primarily for tests).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Cache returns the installed resource-plan cache, or nil when the caller
+// supplied a non-cache planner.
+func (s *Server) Cache() *resource.Cache { return s.cache }
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Serve listens on addr and serves until ctx is cancelled (SIGTERM in
+// cmd/raqo), then drains gracefully: the listener closes, in-flight
+// requests get up to DrainTimeout to finish, and Serve returns nil on a
+// clean drain. ready, when non-nil, is called with the bound address once
+// the listener is up — the hook ephemeral-port callers (smoke tests)
+// need.
+func (s *Server) Serve(ctx context.Context, addr string, ready func(addr string)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+	hs := &http.Server{Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(drainCtx); err != nil {
+			return fmt.Errorf("server: drain: %w", err)
+		}
+		<-errc // always http.ErrServerClosed after Shutdown
+		return nil
+	}
+}
+
+// statusRecorder captures the response code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the per-endpoint request counter,
+// latency histogram and response-code counter.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.Requests.With(endpoint).Inc()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		s.metrics.Latency.With(endpoint).Observe(time.Since(start).Seconds())
+		s.metrics.Responses.With(strconv.Itoa(rec.code)).Inc()
+	}
+}
+
+// writeError renders the uniform JSON error body.
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = WriteJSON(w, ErrorResponse{Error: err.Error()})
+}
+
+// writeResult renders a 200 JSON body.
+func writeResult(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = WriteJSON(w, v)
+}
+
+// maxBodyBytes bounds request bodies; optimizer requests are tiny.
+const maxBodyBytes = 1 << 20
+
+// decodeBody strictly decodes a JSON request body.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// resolveQuery turns a request's query name or relation list into a
+// validated logical query.
+func (s *Server) resolveQuery(name string, relations []string) (*plan.Query, string, error) {
+	switch {
+	case name != "" && len(relations) > 0:
+		return nil, "", errors.New("specify query or relations, not both")
+	case name != "":
+		q, err := workload.TPCHQuery(s.sch, name)
+		return q, name, err
+	case len(relations) > 0:
+		q, err := plan.NewQuery(s.sch, relations...)
+		if err != nil {
+			return nil, "", err
+		}
+		return q, strings.Join(q.Rels, ","), nil
+	default:
+		return nil, "", errors.New("missing query")
+	}
+}
+
+// admitted runs fn while holding an admission slot, translating admission
+// failures into HTTP codes: 429 + Retry-After on overload, 499 when the
+// client went away while queued.
+func (s *Server) admitted(w http.ResponseWriter, r *http.Request, fn func(ctx context.Context)) {
+	ctx := r.Context()
+	if err := s.admit.acquire(ctx); err != nil {
+		switch {
+		case errors.Is(err, errOverloaded):
+			s.metrics.Rejected.Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds())+1))
+			writeError(w, http.StatusTooManyRequests, err)
+		default: // client cancelled while queued
+			s.metrics.Cancelled.Inc()
+			writeError(w, statusClientClosedRequest, err)
+		}
+		return
+	}
+	defer s.admit.release()
+	s.metrics.InFlight.Inc()
+	defer s.metrics.InFlight.Dec()
+	reqCtx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	defer cancel()
+	fn(reqCtx)
+}
+
+// writePlanningError maps a failed optimization to an HTTP code: 499 for
+// client cancellation, 504 for a request-deadline timeout, 422 for
+// planning failures (e.g. no plan within a price budget).
+func (s *Server) writePlanningError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
+		s.metrics.Cancelled.Inc()
+		writeError(w, statusClientClosedRequest, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err)
+	default:
+		writeError(w, http.StatusUnprocessableEntity, err)
+	}
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req OptimizeRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	q, name, err := s.resolveQuery(req.Query, req.Relations)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = "joint"
+	}
+	switch mode {
+	case "joint", "fixed", "budget", "price":
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q", mode))
+		return
+	}
+	s.admitted(w, r, func(ctx context.Context) {
+		var d *core.Decision
+		var err error
+		switch mode {
+		case "joint":
+			d, err = s.opt.OptimizeCtx(ctx, q)
+		case "fixed":
+			d, err = s.opt.OptimizeFixedCtx(ctx, q, plan.Resources{Containers: req.Containers, ContainerGB: req.ContainerGB})
+		case "budget":
+			d, err = s.opt.OptimizeForBudgetCtx(ctx, q, req.Containers, req.ContainerGB)
+		case "price":
+			d, err = s.opt.OptimizeForPriceCtx(ctx, q, units.Dollars(req.BudgetDollars))
+		}
+		if err != nil {
+			s.writePlanningError(w, r, err)
+			return
+		}
+		s.metrics.ObserveDecision(d)
+		writeResult(w, NewOptimizeResponse(name, mode, s.opt.Planner(), d))
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("missing queries"))
+		return
+	}
+	queries := make([]*plan.Query, len(req.Queries))
+	for i, name := range req.Queries {
+		q, _, err := s.resolveQuery(name, nil)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		queries[i] = q
+	}
+	s.admitted(w, r, func(ctx context.Context) {
+		decisions, err := s.opt.OptimizeBatchCtx(ctx, queries, req.Parallel)
+		if err != nil {
+			s.writePlanningError(w, r, err)
+			return
+		}
+		resp := BatchResponse{Results: make([]OptimizeResponse, len(decisions))}
+		for i, d := range decisions {
+			s.metrics.ObserveDecision(d)
+			resp.Results[i] = NewOptimizeResponse(req.Queries[i], "joint", s.opt.Planner(), d)
+		}
+		if s.cache != nil {
+			cs := NewCacheStats(s.cache.Stats())
+			resp.Cache = &cs
+		}
+		if m := s.opt.Memo(); m != nil {
+			resp.Memo = &MemoStats{Hits: m.Hits(), Misses: m.Misses(), Entries: m.Size()}
+		}
+		writeResult(w, resp)
+	})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q, name, err := s.resolveQuery(r.PathValue("query"), nil)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.admitted(w, r, func(ctx context.Context) {
+		d, err := s.opt.OptimizeCtx(ctx, q)
+		if err != nil {
+			s.writePlanningError(w, r, err)
+			return
+		}
+		ops, err := s.opt.ExplainOperators(d)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		s.metrics.ObserveDecision(d)
+		writeResult(w, ExplainResponse{
+			OptimizeResponse: NewOptimizeResponse(name, "joint", s.opt.Planner(), d),
+			Operators:        NewExplainOperators(ops),
+			PlanTree:         d.Plan.String(),
+		})
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeResult(w, map[string]any{
+		"status":        "ok",
+		"uptimeSeconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.Registry.WritePrometheus(w)
+}

@@ -1,0 +1,354 @@
+// Package telemetry is a small dependency-free metrics layer for the RAQO
+// service: atomic counters, gauges and fixed-bucket latency histograms
+// collected in a Registry and rendered in the Prometheus text exposition
+// format (served at /metrics by internal/server) or as a one-line summary
+// (printed by `raqo batch`).
+//
+// The package deliberately implements only what the optimizer service
+// needs — no labels beyond a single optional key, no summaries/quantiles,
+// no push — so it stays stdlib-only and allocation-free on the hot
+// recording paths. All metric operations are safe for concurrent use.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas are ignored to keep the counter monotone.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram with cumulative Prometheus
+// semantics: bucket i counts observations <= bounds[i], plus an implicit
+// +Inf bucket, a running sum and a total count.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64  // float64 bits, CAS-updated
+	count  atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DefBuckets are latency buckets (seconds) suited to optimizer calls that
+// run from tens of microseconds to a few seconds.
+var DefBuckets = []float64{
+	.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}
+
+// metricKind is the Prometheus TYPE of a family.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// series is one (label value → metric) instance within a family.
+type series struct {
+	label string // label value; "" for unlabeled families
+	c     *Counter
+	g     *Gauge
+	h     *Histogram
+	fn    func() float64
+}
+
+// family is one named metric family with HELP/TYPE metadata.
+type family struct {
+	name     string
+	help     string
+	kind     metricKind
+	labelKey string // label key for vec families; "" otherwise
+	buckets  []float64
+
+	mu     sync.Mutex
+	series []*series
+	byVal  map[string]*series
+}
+
+func (f *family) get(label string) *series {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.byVal[label]; ok {
+		return s
+	}
+	s := &series{label: label}
+	switch f.kind {
+	case kindCounter:
+		s.c = &Counter{}
+	case kindGauge:
+		s.g = &Gauge{}
+	case kindHistogram:
+		s.h = &Histogram{bounds: f.buckets, counts: make([]atomic.Int64, len(f.buckets)+1)}
+	}
+	if f.byVal == nil {
+		f.byVal = make(map[string]*series)
+	}
+	f.byVal[label] = s
+	f.series = append(f.series, s)
+	return s
+}
+
+// snapshot returns the family's series sorted by label value for
+// deterministic rendering.
+func (f *family) snapshot() []*series {
+	f.mu.Lock()
+	out := append([]*series(nil), f.series...)
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].label < out[j].label })
+	return out
+}
+
+// Registry holds metric families in registration order.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{byName: make(map[string]*family)} }
+
+func (r *Registry) family(name, help string, kind metricKind, labelKey string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, labelKey: labelKey, buckets: buckets}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+// Counter registers (or returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, kindCounter, "", nil).get("").c
+}
+
+// Gauge registers (or returns) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, kindGauge, "", nil).get("").g
+}
+
+// Histogram registers (or returns) an unlabeled histogram; nil buckets
+// select DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return r.family(name, help, kindHistogram, "", buckets).get("").h
+}
+
+// CounterVec is a counter family keyed by one label.
+type CounterVec struct{ f *family }
+
+// With returns the counter for one label value, creating it on first use.
+func (v *CounterVec) With(value string) *Counter { return v.f.get(value).c }
+
+// CounterVec registers a counter family with a single label key.
+func (r *Registry) CounterVec(name, help, labelKey string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, kindCounter, labelKey, nil)}
+}
+
+// HistogramVec is a histogram family keyed by one label.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for one label value, creating it on first use.
+func (v *HistogramVec) With(value string) *Histogram { return v.f.get(value).h }
+
+// HistogramVec registers a histogram family with a single label key; nil
+// buckets select DefBuckets.
+func (r *Registry) HistogramVec(name, help, labelKey string, buckets []float64) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{f: r.family(name, help, kindHistogram, labelKey, buckets)}
+}
+
+// CounterFunc registers a counter whose value is read from fn at render
+// time — the bridge for components that keep their own atomic counters
+// (e.g. the resource-plan cache).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, kindCounter, "", nil)
+	s := f.get("")
+	s.fn = fn
+}
+
+// GaugeFunc registers a gauge read from fn at render time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, kindGauge, "", nil)
+	s := f.get("")
+	s.fn = fn
+}
+
+// fmtFloat renders a value the way Prometheus clients do: integers without
+// an exponent, everything else in shortest-form scientific/decimal.
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func (s *series) value() float64 {
+	switch {
+	case s.fn != nil:
+		return s.fn()
+	case s.c != nil:
+		return float64(s.c.Value())
+	case s.g != nil:
+		return float64(s.g.Value())
+	}
+	return 0
+}
+
+func labelSuffix(key, value string) string {
+	if key == "" {
+		return ""
+	}
+	return fmt.Sprintf("{%s=%q}", key, value)
+}
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4), in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.snapshot() {
+			if f.kind == kindHistogram {
+				if err := writeHistogram(w, f, s); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelSuffix(f.labelKey, s.label), fmtFloat(s.value())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, f *family, s *series) error {
+	h := s.h
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		if err := writeBucket(w, f, s.label, fmtFloat(bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if err := writeBucket(w, f, s.label, "+Inf", cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelSuffix(f.labelKey, s.label), fmtFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelSuffix(f.labelKey, s.label), h.Count())
+	return err
+}
+
+func writeBucket(w io.Writer, f *family, label, le string, cum int64) error {
+	if f.labelKey == "" {
+		_, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", f.name, le, cum)
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", f.name, f.labelKey, label, le, cum)
+	return err
+}
+
+// Summary renders counters, gauges and func metrics as one
+// space-separated "name=value" line (histograms appear as name_count),
+// in registration order — the `raqo batch` stats line.
+func (r *Registry) Summary() string {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range fams {
+		for _, s := range f.snapshot() {
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			suffix := ""
+			if f.labelKey != "" {
+				suffix = fmt.Sprintf("{%s}", s.label)
+			}
+			if f.kind == kindHistogram {
+				fmt.Fprintf(&b, "%s_count%s=%d", f.name, suffix, s.h.Count())
+				continue
+			}
+			fmt.Fprintf(&b, "%s%s=%s", f.name, suffix, fmtFloat(s.value()))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("raqo_test_total", "test counter")
+	g := r.Gauge("raqo_test_in_flight", "test gauge")
+	c.Add(3)
+	c.Inc()
+	c.Add(-5) // ignored: counters are monotone
+	g.Set(7)
+	g.Dec()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP raqo_test_total test counter",
+		"# TYPE raqo_test_total counter",
+		"raqo_test_total 4",
+		"# TYPE raqo_test_in_flight gauge",
+		"raqo_test_in_flight 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterVecRendersSortedSeries(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("raqo_http_requests_total", "requests", "endpoint")
+	v.With("/v1/optimize").Add(2)
+	v.With("/healthz").Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	i := strings.Index(out, `raqo_http_requests_total{endpoint="/healthz"} 1`)
+	j := strings.Index(out, `raqo_http_requests_total{endpoint="/v1/optimize"} 2`)
+	if i < 0 || j < 0 || i > j {
+		t.Fatalf("expected both series sorted by label, got:\n%s", out)
+	}
+}
+
+func TestHistogramBucketsAreCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("raqo_latency_seconds", "latency", []float64{0.1, 1})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if got := h.Sum(); got != 6.05 {
+		t.Fatalf("sum = %g, want 6.05", got)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`raqo_latency_seconds_bucket{le="0.1"} 1`,
+		`raqo_latency_seconds_bucket{le="1"} 3`,
+		`raqo_latency_seconds_bucket{le="+Inf"} 4`,
+		`raqo_latency_seconds_sum 6.05`,
+		`raqo_latency_seconds_count 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBoundaryGoesToItsBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("raqo_b_seconds", "b", []float64{1, 2})
+	h.Observe(1) // exactly on a bound: le="1" is cumulative <= 1
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `raqo_b_seconds_bucket{le="1"} 1`) {
+		t.Fatalf("boundary observation not in its bucket:\n%s", b.String())
+	}
+}
+
+func TestFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	n := int64(41)
+	r.CounterFunc("raqo_cache_hits_total", "hits", func() float64 { return float64(n) })
+	r.GaugeFunc("raqo_cache_entries", "entries", func() float64 { return 3 })
+	n++
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "raqo_cache_hits_total 42") {
+		t.Errorf("func counter not read at render time:\n%s", out)
+	}
+	if !strings.Contains(out, "raqo_cache_entries 3") {
+		t.Errorf("func gauge missing:\n%s", out)
+	}
+}
+
+func TestReRegisterReturnsSameMetric(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("raqo_same_total", "x")
+	b := r.Counter("raqo_same_total", "x")
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("re-registered counter not shared")
+	}
+}
+
+func TestSummaryLine(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("plans_total", "p").Add(10)
+	r.Gauge("in_flight", "g").Set(2)
+	h := r.Histogram("lat_seconds", "l", nil)
+	h.Observe(0.2)
+	got := r.Summary()
+	want := "plans_total=10 in_flight=2 lat_seconds_count=1"
+	if got != want {
+		t.Fatalf("Summary() = %q, want %q", got, want)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	h := r.Histogram("h_seconds", "h", []float64{0.5})
+	v := r.CounterVec("v_total", "v", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j%2) * 0.7)
+				v.With("a").Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+	if v.With("a").Value() != 8000 {
+		t.Fatalf("vec counter = %d, want 8000", v.With("a").Value())
+	}
+}

@@ -1,0 +1,42 @@
+#!/bin/sh
+# Smoke test for `raqo serve`: build the CLI, start the service on an
+# ephemeral port, hit /healthz and one /v1/optimize, then terminate and
+# check the graceful drain. Exits non-zero on any failure.
+set -eu
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+out="$tmp/serve.out"
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT INT TERM
+
+"$GO" build -o "$tmp/raqo" ./cmd/raqo
+
+"$tmp/raqo" serve -addr 127.0.0.1:0 -trained=false >"$out" 2>&1 &
+pid=$!
+
+# The ready line prints the bound address: "raqo serve: listening on HOST:PORT ...".
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^raqo serve: listening on \([^ ]*\).*/\1/p' "$out")
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "smoke: server died at startup:"; cat "$out"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "smoke: server never reported its address:"; cat "$out"; exit 1; }
+
+health=$(curl -fsS "http://$addr/healthz")
+echo "$health" | grep -q '"status": "ok"' || { echo "smoke: bad healthz: $health"; exit 1; }
+
+opt=$(curl -fsS -X POST "http://$addr/v1/optimize" -d '{"query":"Q12"}')
+echo "$opt" | grep -q '"query": "Q12"' || { echo "smoke: bad optimize response: $opt"; exit 1; }
+echo "$opt" | grep -q '"plan": {' || { echo "smoke: optimize response missing plan: $opt"; exit 1; }
+
+kill -TERM "$pid"
+i=0
+while kill -0 "$pid" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "smoke: server did not drain after SIGTERM"; exit 1; }
+    sleep 0.1
+done
+
+echo "smoke: serve OK ($addr)"
