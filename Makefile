@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json bench-serve-json smoke
+.PHONY: check fmt vet build test race bench bench-json bench-serve-json bench-lint-json smoke lint lint-fix-check
 
-check: fmt vet build race bench smoke
+check: fmt vet build lint lint-fix-check race bench smoke
 
 # Fail when any file needs gofmt.
 fmt:
@@ -14,6 +14,17 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis: determinism, virtual-clock, units,
+# cancellation and telemetry-cardinality invariants. Prints per-analyzer
+# wall time and fails on any unsuppressed finding.
+lint:
+	$(GO) run ./cmd/raqolint -C .
+
+# Self-test of the analyzers against the golden testdata packages and
+# their `// want` markers.
+lint-fix-check:
+	$(GO) run ./cmd/raqolint -golden internal/lint/testdata/src
 
 build:
 	$(GO) build ./...
@@ -36,6 +47,10 @@ bench-json:
 # Record the optimizer-service throughput/latency in BENCH_serve.json.
 bench-serve-json:
 	RAQO_BENCH_JSON=1 $(GO) test -run TestWriteServeBenchJSON .
+
+# Record the raqolint load/analyze cost in BENCH_lint.json.
+bench-lint-json:
+	RAQO_BENCH_JSON=1 $(GO) test -run TestWriteLintBenchJSON .
 
 # End-to-end smoke test: start `raqo serve` on an ephemeral port, hit
 # /healthz and /v1/optimize, then check the SIGTERM drain.

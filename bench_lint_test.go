@@ -1,0 +1,77 @@
+// RAQO_BENCH_JSON=1 go test -run TestWriteLintBenchJSON records the cost of
+// the raqolint gate in BENCH_lint.json: the export-data load (go list +
+// typecheck, the dominant term) and the pure analysis pass over the loaded
+// packages. The numbers bound what `make lint` adds to `make check`.
+package raqo_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"raqo/internal/lint"
+)
+
+// TestWriteLintBenchJSON measures the linter and writes BENCH_lint.json.
+func TestWriteLintBenchJSON(t *testing.T) {
+	if os.Getenv("RAQO_BENCH_JSON") == "" {
+		t.Skip("set RAQO_BENCH_JSON=1 to record BENCH_lint.json")
+	}
+	type entry struct {
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+	}
+	var entries []entry
+	record := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		entries = append(entries, entry{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+
+	record("LintLoadModule", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := lint.LoadModule("."); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	pkgs, _, err := lint.LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	record("LintAnalyzeModule", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			findings, _ := lint.Run(pkgs, lint.Analyzers())
+			if len(findings) != 0 {
+				b.Fatalf("module has lint findings: %v", findings)
+			}
+		}
+	})
+
+	report := struct {
+		GoMaxProcs int     `json:"gomaxprocs"`
+		NumCPU     int     `json:"num_cpu"`
+		Note       string  `json:"note"`
+		Benchmarks []entry `json:"benchmarks"`
+	}{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Note: "LintLoadModule includes the go list -export subprocess and gc export-data " +
+			"typechecking; LintAnalyzeModule is the pure AST/type analysis over already-loaded packages",
+		Benchmarks: entries,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_lint.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_lint.json with %d benchmarks", len(entries))
+}

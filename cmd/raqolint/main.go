@@ -1,0 +1,148 @@
+// Command raqolint runs the RAQO-specific static-analysis suite over the
+// module: determinism (map iteration, rand seeding), virtual-clock
+// discipline in the simulators, units hygiene on exported APIs, context
+// observation in optimizer search loops, and telemetry cardinality. See
+// internal/lint for the rules and the //raqolint:ignore suppression
+// policy.
+//
+// Usage:
+//
+//	raqolint [-C dir] [-rules maprange,clock,...]
+//	raqolint -golden internal/lint/testdata/src
+//
+// The default mode lints the module rooted at -C (default ".") and exits
+// non-zero on any finding. The -golden mode instead loads a testdata tree
+// and verifies the analyzers against its `// want "regexp"` markers —
+// the self-test that guards the analyzers, run by `make lint-fix-check`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"raqo/internal/lint"
+)
+
+func main() {
+	moduleDir := flag.String("C", ".", "module root to lint")
+	goldenDir := flag.String("golden", "", "verify analyzers against the // want markers of this testdata tree instead of linting the module")
+	rules := flag.String("rules", "", "comma-separated analyzer names to run (default: all)")
+	quiet := flag.Bool("q", false, "suppress the timing summary")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: raqolint [-C dir] [-golden testdata] [-rules a,b]\n\nanalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s (rules: %s)\n", a.Name, a.Doc, strings.Join(a.Rules, ", "))
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := selectAnalyzers(*rules)
+	start := time.Now()
+	var (
+		pkgs  []*lint.Package
+		stats *lint.LoadStats
+		err   error
+	)
+	if *goldenDir != "" {
+		pkgs, stats, err = lint.LoadTree(*goldenDir)
+	} else {
+		pkgs, stats, err = lint.LoadModule(*moduleDir)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "raqolint:", err)
+		os.Exit(2)
+	}
+
+	findings, timings := lint.Run(pkgs, analyzers)
+
+	if *goldenDir != "" {
+		mismatches, err := lint.Golden(pkgs, findings)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "raqolint:", err)
+			os.Exit(2)
+		}
+		for _, m := range mismatches {
+			fmt.Println(m)
+		}
+		if !*quiet {
+			fmt.Printf("raqolint golden: %d packages, %d findings matched against want markers in %v\n",
+				stats.Packages, len(findings), time.Since(start).Round(time.Millisecond))
+		}
+		if len(mismatches) > 0 {
+			fmt.Fprintf(os.Stderr, "raqolint: %d golden mismatches\n", len(mismatches))
+			os.Exit(1)
+		}
+		return
+	}
+
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if !*quiet {
+		// The gate's cost stays visible: load split plus per-analyzer wall
+		// time, every run.
+		var parts []string
+		for _, t := range timings {
+			parts = append(parts, fmt.Sprintf("%s %s", t.Analyzer, t.Elapsed.Round(time.Microsecond*100)))
+		}
+		fmt.Printf("raqolint: %d packages (go list %v, typecheck %v); %s; total %v\n",
+			stats.Packages, stats.List.Round(time.Millisecond), stats.Check.Round(time.Millisecond),
+			strings.Join(parts, ", "), time.Since(start).Round(time.Millisecond))
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "raqolint: %d findings\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers filters the suite by -rules (matching analyzer names or
+// rule names); unknown names abort so a typo cannot silently disable a
+// gate.
+func selectAnalyzers(csv string) []*lint.Analyzer {
+	all := lint.Analyzers()
+	if csv == "" {
+		return all
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(csv, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			want[name] = true
+		}
+	}
+	var out []*lint.Analyzer
+	seen := map[string]bool{}
+	for _, a := range all {
+		match := want[a.Name]
+		for _, r := range a.Rules {
+			if want[r] {
+				match = true
+			}
+			seen[r] = true
+		}
+		seen[a.Name] = true
+		if match {
+			out = append(out, a)
+		}
+	}
+	var unknown []string
+	for name := range want {
+		if !seen[name] {
+			unknown = append(unknown, name)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		fmt.Fprintf(os.Stderr, "raqolint: unknown analyzers/rules: %s\n", strings.Join(unknown, ", "))
+		os.Exit(2)
+	}
+	if len(out) == 0 {
+		fmt.Fprintln(os.Stderr, "raqolint: -rules selected no analyzers")
+		os.Exit(2)
+	}
+	return out
+}

@@ -188,7 +188,9 @@ func (s *Schema) Connected(tables []string) bool {
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for n := range s.edges[cur] {
+		// Neighbors is sorted, so the traversal order — and any state
+		// derived from it — is independent of edge-map iteration order.
+		for _, n := range s.Neighbors(cur) {
 			if want[n] && !seen[n] {
 				seen[n] = true
 				stack = append(stack, n)

@@ -9,6 +9,7 @@ package cost
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"raqo/internal/plan"
 	"raqo/internal/stats"
@@ -163,8 +164,16 @@ func Train(samples []Profile) (*Models, error) {
 	if len(byAlgo) == 0 {
 		return nil, fmt.Errorf("cost: no training samples")
 	}
+	// Fit in a fixed algorithm order so the first validation error — and
+	// the numerical path — never depends on map iteration order.
+	algos := make([]plan.JoinAlgo, 0, len(byAlgo))
+	for algo := range byAlgo {
+		algos = append(algos, algo)
+	}
+	sort.Slice(algos, func(i, j int) bool { return algos[i] < algos[j] })
 	out := NewModels()
-	for algo, rows := range byAlgo {
+	for _, algo := range algos {
+		rows := byAlgo[algo]
 		if len(rows) < stats.NumFeatures+1 {
 			return nil, fmt.Errorf("cost: %s has only %d samples, need at least %d",
 				algo, len(rows), stats.NumFeatures+1)

@@ -3,6 +3,7 @@ package cost
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -242,5 +243,24 @@ func TestDominanceProperties(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestTrainDeterministicError pins the raqolint maprange fix: when several
+// algorithms are under-sampled, Train must always report the lowest-ordered
+// one (SMJ before BHJ), not whichever the sample map yields first.
+func TestTrainDeterministicError(t *testing.T) {
+	few := []Profile{
+		{Algo: plan.BHJ, SS: 1, CS: 1, NC: 1, Seconds: 1},
+		{Algo: plan.SMJ, SS: 1, CS: 1, NC: 1, Seconds: 1},
+	}
+	for i := 0; i < 20; i++ {
+		_, err := Train(few)
+		if err == nil {
+			t.Fatal("under-sampled training accepted")
+		}
+		if !strings.Contains(err.Error(), "SMJ") {
+			t.Fatalf("run %d: error %q does not name SMJ (lowest algorithm in fixed order)", i, err)
+		}
 	}
 }

@@ -105,14 +105,20 @@ func Spark() Params {
 
 // Validate checks the profile for usable constants.
 func (p Params) Validate() error {
-	pos := map[string]float64{
-		"MapRate": p.MapRate, "ShuffleRate": p.ShuffleRate, "BcastRate": p.BcastRate,
-		"BuildRate": p.BuildRate, "ProbeRate": p.ProbeRate, "OOMFrac": p.OOMFrac,
-		"PenFrac": p.PenFrac, "SortMemFrac": p.SortMemFrac, "BcastFan": p.BcastFan,
+	// A fixed check order keeps the reported field deterministic when
+	// several constants are invalid at once (a map here made the error
+	// message depend on iteration order).
+	pos := []struct {
+		name string
+		v    float64
+	}{
+		{"MapRate", p.MapRate}, {"ShuffleRate", p.ShuffleRate}, {"BcastRate", p.BcastRate},
+		{"BuildRate", p.BuildRate}, {"ProbeRate", p.ProbeRate}, {"OOMFrac", p.OOMFrac},
+		{"PenFrac", p.PenFrac}, {"SortMemFrac", p.SortMemFrac}, {"BcastFan", p.BcastFan},
 	}
-	for name, v := range pos {
-		if v <= 0 {
-			return fmt.Errorf("execsim: %s must be positive, got %v", name, v)
+	for _, c := range pos {
+		if c.v <= 0 {
+			return fmt.Errorf("execsim: %s must be positive, got %v", c.name, c.v)
 		}
 	}
 	if p.StageStartup < 0 || p.ReduceStartup < 0 || p.TaskOverhead < 0 ||

@@ -3,6 +3,7 @@ package execsim
 import (
 	"errors"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -474,5 +475,24 @@ func TestHashCapacityChaining(t *testing.T) {
 	}
 	if got := h.HashCapacityGB(6, 0); got != c1 {
 		t.Errorf("chain<1 should clamp to 1: %v vs %v", got, c1)
+	}
+}
+
+// TestValidateDeterministicError pins the raqolint maprange fix: with
+// several constants invalid at once, Validate must always report the same
+// one (the first in declared order), not whichever a map yields first.
+func TestValidateDeterministicError(t *testing.T) {
+	p := Hive()
+	p.ShuffleRate = 0
+	p.ProbeRate = -1
+	p.BcastFan = 0
+	for i := 0; i < 20; i++ {
+		err := p.Validate()
+		if err == nil {
+			t.Fatal("invalid profile accepted")
+		}
+		if want := "ShuffleRate"; !strings.Contains(err.Error(), want) {
+			t.Fatalf("run %d: error %q does not name %s (first invalid in declared order)", i, err, want)
+		}
 	}
 }

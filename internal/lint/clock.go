@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// clockScopes are the discrete-event simulator packages: Figures 1-4 are
+// virtual-time experiments, so any wall-clock read here silently couples
+// simulated results to host speed.
+var clockScopes = []string{"internal/cluster", "internal/execsim", "internal/scheduler"}
+
+// wallClockFuncs are the time-package calls that read or wait on the wall
+// clock. time.Duration and time.Time as plain types remain fine.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true,
+	"Since": true, "Until": true,
+}
+
+// Clock returns the virtual-clock analyzer (rule "clock"): simulator
+// packages must only advance simulated time.
+func Clock() *Analyzer {
+	return &Analyzer{
+		Name:  "clock",
+		Doc:   "discrete-event simulators must never read the wall clock",
+		Rules: []string{"clock"},
+		Run:   runClock,
+	}
+}
+
+func runClock(p *Package) []Finding {
+	if !inScope(p.Path, clockScopes...) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if p.pkgPathOf(sel.X) != "time" || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			out = append(out, p.finding("clock", sel,
+				"time.%s reads the wall clock inside a discrete-event simulator; advance virtual time instead", sel.Sel.Name))
+			return true
+		})
+	}
+	return out
+}

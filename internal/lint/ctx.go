@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ctxScopes are the planner-search packages: their loops are the hot
+// paths a cancelled request must be able to stop (the server threads
+// request contexts into OptimizeCtx and the per-mask / per-seed loops).
+var ctxScopes = []string{"internal/optimizer"}
+
+// CtxLoop returns the cancellation analyzer (rule "ctx"): a function in
+// an optimizer package that holds a context.Context and contains loops
+// must observe the context in at least one loop — via ctx.Err(),
+// ctx.Done(), or by passing ctx into a per-iteration call.
+func CtxLoop() *Analyzer {
+	return &Analyzer{
+		Name:  "ctx",
+		Doc:   "optimizer search loops must observe their context so cancellation stops them",
+		Rules: []string{"ctx"},
+		Run:   runCtxLoop,
+	}
+}
+
+func runCtxLoop(p *Package) []Finding {
+	if !inScope(p.Path, ctxScopes...) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxObjs := contextObjects(p, fd)
+			if len(ctxObjs) == 0 {
+				continue
+			}
+			loops := collectLoops(fd.Body)
+			if len(loops) == 0 {
+				continue
+			}
+			observed := false
+			for _, loop := range loops {
+				if usesAny(p, loop, ctxObjs) {
+					observed = true
+					break
+				}
+			}
+			if !observed {
+				out = append(out, p.finding("ctx", fd.Name,
+					"%s holds a context but none of its loops observe it; check ctx.Err() (or pass ctx to the per-iteration call) so cancellation stops the search", fd.Name.Name))
+			}
+		}
+	}
+	return out
+}
+
+// contextObjects collects the context.Context parameters and locals of a
+// function (covering both ctx parameters and the `ctx := p.Ctx` pattern).
+func contextObjects(p *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	add := func(id *ast.Ident) {
+		obj := p.Info.Defs[id]
+		if obj == nil {
+			return
+		}
+		if isContextType(obj.Type()) {
+			objs[obj] = true
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				add(name)
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					add(id)
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range s.Names {
+				add(id)
+			}
+		}
+		return true
+	})
+	return objs
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "context")
+}
+
+// collectLoops gathers every for/range statement in the body, including
+// loops inside function literals (worker-pool goroutines).
+func collectLoops(body *ast.BlockStmt) []ast.Node {
+	var loops []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+		}
+		return true
+	})
+	return loops
+}
+
+// usesAny reports whether the node references any of the given objects.
+func usesAny(p *Package, n ast.Node, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && objs[p.Info.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+)
+
+// wantToken matches one quoted or backquoted regexp in a // want comment.
+var wantToken = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// expectation is one parsed `// want "regexp"` marker from golden source:
+// the analyzers must report a finding on that line whose "[rule] message"
+// rendering matches the pattern.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// expectations parses the // want markers of every file in the packages.
+func expectations(pkgs []*Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := c.Text
+					const marker = "// want "
+					i := indexOfWant(text)
+					if i < 0 {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					toks := wantToken.FindAllString(text[i+len(marker)-1:], -1)
+					if len(toks) == 0 {
+						return nil, fmt.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, text)
+					}
+					for _, tok := range toks {
+						pat := tok
+						if tok[0] == '"' {
+							var err error
+							pat, err = strconv.Unquote(tok)
+							if err != nil {
+								return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, tok, err)
+							}
+						} else {
+							pat = tok[1 : len(tok)-1]
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func indexOfWant(comment string) int {
+	for i := 0; i+8 <= len(comment); i++ {
+		if comment[i:i+8] == "// want " {
+			return i
+		}
+	}
+	return -1
+}
+
+// Golden checks findings against the // want markers in the packages'
+// sources and returns a list of mismatches: findings nothing expected,
+// and expectations nothing matched. An empty slice means the analyzers
+// behave exactly as the golden files document.
+func Golden(pkgs []*Package, findings []Finding) ([]string, error) {
+	wants, err := expectations(pkgs)
+	if err != nil {
+		return nil, err
+	}
+	var errs []string
+	for _, f := range findings {
+		rendered := fmt.Sprintf("[%s] %s", f.Rule, f.Msg)
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(rendered) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			errs = append(errs, fmt.Sprintf("unexpected finding: %s", f))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			errs = append(errs, fmt.Sprintf("%s:%d: no finding matched want %q", w.file, w.line, w.raw))
+		}
+	}
+	return errs, nil
+}
+
+// GoldenFileCount reports how many files the golden packages contain —
+// used by the driver's summary line.
+func GoldenFileCount(pkgs []*Package) int {
+	n := 0
+	for _, p := range pkgs {
+		n += len(p.Files)
+	}
+	return n
+}

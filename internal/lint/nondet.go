@@ -1,0 +1,275 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// randConstructors are the math/rand functions that build an explicitly
+// seeded source rather than drawing from the global one.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// NonDet returns the nondeterminism analyzer: rule "maprange" flags map
+// iteration whose order can leak into observable state — plan and cost
+// choices most critically, but also error selection and report rows, so
+// the rule runs module-wide — and rule "randsrc" flags randomness that
+// does not flow from an explicitly seeded *rand.Rand.
+func NonDet() *Analyzer {
+	return &Analyzer{
+		Name:  "nondet",
+		Doc:   "map-iteration order and unseeded randomness must not reach planner state",
+		Rules: []string{"maprange", "randsrc"},
+		Run:   runNonDet,
+	}
+}
+
+func runNonDet(p *Package) []Finding {
+	out := mapRange(p)
+	out = append(out, randSource(p)...)
+	return out
+}
+
+// mapRange flags `range` over a map unless the loop body is provably
+// order-insensitive: a commutative reduction (+=, |=, counters, deletes)
+// or a collect-into-slice whose every collected slice is sorted later in
+// the same function before use.
+func mapRange(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := p.Info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if commutativeBody(p, rs.Body) || collectAndSort(p, rs, fd.Body) {
+					return true
+				}
+				out = append(out, p.finding("maprange", rs,
+					"range over map %s has nondeterministic order; sort the keys first (or reduce commutatively)",
+					types.TypeString(t, types.RelativeTo(p.Pkg))))
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// commutativeBody reports whether every statement in a range body is an
+// order-insensitive accumulation: op-assignments with commutative
+// operators, counters, or deletes.
+func commutativeBody(p *Package, body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	for _, st := range body.List {
+		switch s := st.(type) {
+		case *ast.IncDecStmt:
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.MUL_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			default:
+				return false
+			}
+		case *ast.ExprStmt:
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok || !isBuiltin(p, call.Fun, "delete") {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// collectAndSort reports whether the range body only collects into local
+// slices — append assignments, possibly wrapped in ifs or nested loops —
+// and each collected slice is passed to a sort.* or slices.* call later
+// in the enclosing function: the canonical collect-keys-then-sort idiom.
+func collectAndSort(p *Package, rs *ast.RangeStmt, enclosing *ast.BlockStmt) bool {
+	var appended []types.Object
+	if !collectOnly(p, rs.Body.List, &appended) || len(appended) == 0 {
+		return false
+	}
+	for _, obj := range appended {
+		if !sortedAfter(p, obj, rs.End(), enclosing) {
+			return false
+		}
+	}
+	return true
+}
+
+// collectOnly reports whether every statement is an append into a local
+// slice, a control structure wrapping only such appends, or a loop
+// branch. The appended slice objects accumulate into appended.
+func collectOnly(p *Package, stmts []ast.Stmt, appended *[]types.Object) bool {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return false
+			}
+			call, isCall := s.Rhs[0].(*ast.CallExpr)
+			if !isCall || !isBuiltin(p, call.Fun, "append") {
+				return false
+			}
+			id, isIdent := stripParens(s.Lhs[0]).(*ast.Ident)
+			if !isIdent {
+				return false
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil {
+				obj = p.Info.Defs[id]
+			}
+			if obj == nil {
+				return false
+			}
+			*appended = append(*appended, obj)
+		case *ast.IfStmt:
+			if s.Init != nil && !collectOnly(p, []ast.Stmt{s.Init}, appended) {
+				return false
+			}
+			if !collectOnly(p, s.Body.List, appended) {
+				return false
+			}
+			if s.Else != nil && !collectOnly(p, []ast.Stmt{s.Else}, appended) {
+				return false
+			}
+		case *ast.BlockStmt:
+			if !collectOnly(p, s.List, appended) {
+				return false
+			}
+		case *ast.RangeStmt:
+			if !collectOnly(p, s.Body.List, appended) {
+				return false
+			}
+		case *ast.ForStmt:
+			if !collectOnly(p, s.Body.List, appended) {
+				return false
+			}
+		case *ast.BranchStmt:
+			// continue/break do not write state
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// sortedAfter reports whether obj appears as an argument to a sort.* or
+// slices.* call positioned after pos within the function body.
+func sortedAfter(p *Package, obj types.Object, pos token.Pos, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if pkg := p.pkgPathOf(sel.X); pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// isBuiltin reports whether fun resolves to the named builtin.
+func isBuiltin(p *Package, fun ast.Expr, name string) bool {
+	id, ok := stripParens(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = p.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// randSource flags uses of math/rand that bypass the project's seeding
+// discipline: calls through the package-global source (rand.Intn, ...)
+// and sources seeded from the clock.
+func randSource(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		// Collect the constructor selectors used as call functions, so a
+		// bare reference like `fn := rand.New` is not double-reported.
+		calls := map[*ast.SelectorExpr]*ast.CallExpr{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if sel, ok := stripParens(call.Fun).(*ast.SelectorExpr); ok {
+					calls[sel] = call
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg := p.pkgPathOf(sel.X)
+			if pkg != "math/rand" && pkg != "math/rand/v2" {
+				return true
+			}
+			if _, isType := p.Info.Uses[sel.Sel].(*types.TypeName); isType {
+				return true // *rand.Rand in a signature is the blessed pattern
+			}
+			name := sel.Sel.Name
+			if randConstructors[name] {
+				if call, isCall := calls[sel]; isCall && timeDerived(p, call.Args) {
+					out = append(out, p.finding("randsrc", sel,
+						"rand.%s seeded from the clock is unreproducible; derive the seed from Options.Seed", name))
+				}
+				return true
+			}
+			out = append(out, p.finding("randsrc", sel,
+				"rand.%s draws from the global source; thread an explicitly seeded *rand.Rand instead", name))
+			return true
+		})
+	}
+	return out
+}
+
+// timeDerived reports whether any argument expression mentions package
+// time — the rand.NewSource(time.Now().UnixNano()) anti-pattern.
+func timeDerived(p *Package, args []ast.Expr) bool {
+	for _, a := range args {
+		derived := false
+		ast.Inspect(a, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok && p.pkgPathOf(sel.X) == "time" {
+				derived = true
+			}
+			return !derived
+		})
+		if derived {
+			return true
+		}
+	}
+	return false
+}

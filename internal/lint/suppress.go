@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"strings"
+)
+
+// ignorePrefix is the suppression directive marker. Like //go:generate it
+// must follow the comment slashes without a space.
+const ignorePrefix = "//raqolint:ignore"
+
+// directive is one well-formed //raqolint:ignore comment.
+type directive struct {
+	file   string
+	line   int
+	rule   string
+	reason string
+}
+
+// directives extracts the suppression directives from a package. Malformed
+// directives — missing rule, unknown rule, or missing reason — are returned
+// as findings under the "ignore" rule and never suppress anything, which is
+// how the driver enforces that every suppression in the tree carries a rule
+// name and a justification.
+func directives(p *Package, known map[string]bool) ([]directive, []Finding) {
+	var dirs []directive
+	var bad []Finding
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, Finding{Pos: pos, Rule: "ignore",
+						Msg: "raqolint:ignore needs a rule name and a reason"})
+				case !known[fields[0]]:
+					bad = append(bad, Finding{Pos: pos, Rule: "ignore",
+						Msg: "raqolint:ignore names unknown rule " + strings.TrimSpace(fields[0])})
+				case len(fields) == 1:
+					bad = append(bad, Finding{Pos: pos, Rule: "ignore",
+						Msg: "raqolint:ignore " + fields[0] + " needs a reason"})
+				default:
+					dirs = append(dirs, directive{
+						file:   pos.Filename,
+						line:   pos.Line,
+						rule:   fields[0],
+						reason: strings.TrimSpace(strings.TrimPrefix(rest, fields[0])),
+					})
+				}
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// suppressed reports whether a finding is covered by a directive on the
+// same line (trailing comment) or the line directly above (standalone
+// comment). "ignore" findings are never suppressible: a malformed
+// directive must be fixed, not ignored.
+func suppressed(f Finding, dirs []directive) bool {
+	if f.Rule == "ignore" {
+		return false
+	}
+	for _, d := range dirs {
+		if d.rule != f.Rule || d.file != f.Pos.Filename {
+			continue
+		}
+		if d.line == f.Pos.Line || d.line == f.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}

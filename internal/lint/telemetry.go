@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// registryMethods are the telemetry.Registry registration calls whose
+// name (arg 0) — and label key (arg 2) for vec families — must be
+// compile-time constants: a computed family name is unbounded time-series
+// cardinality waiting to happen.
+var registryMethods = map[string]int{
+	"Counter": 0, "Gauge": 0, "Histogram": 0,
+	"CounterVec": 0, "HistogramVec": 0,
+	"CounterFunc": 0, "GaugeFunc": 0,
+}
+
+// vecLabelKeyArg maps vec registrations to the index of their label-key
+// argument.
+var vecLabelKeyArg = map[string]int{"CounterVec": 2, "HistogramVec": 2}
+
+// Telemetry returns the metric-cardinality analyzer (rule "metric").
+// Registration names must be constants. Label values passed to With may
+// be constants, plain variables, or lookups — but never strings
+// synthesized on the spot (fmt.Sprintf, strconv, conversions,
+// concatenation), unless built by a same-package mapper function whose
+// every return is a constant (a provably bounded label set).
+func Telemetry() *Analyzer {
+	return &Analyzer{
+		Name:  "telemetry",
+		Doc:   "metric names and labels must be compile-time bounded",
+		Rules: []string{"metric"},
+		Run:   runTelemetry,
+	}
+}
+
+func runTelemetry(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := stripParens(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv := telemetryRecv(p, sel.X)
+			switch {
+			case recv == "Registry":
+				argIdx, isReg := registryMethods[sel.Sel.Name]
+				if !isReg {
+					return true
+				}
+				if !constString(p, call, argIdx) {
+					out = append(out, p.finding("metric", call.Args[argIdx],
+						"metric name passed to Registry.%s must be a compile-time constant", sel.Sel.Name))
+				}
+				if keyIdx, isVec := vecLabelKeyArg[sel.Sel.Name]; isVec && !constString(p, call, keyIdx) {
+					out = append(out, p.finding("metric", call.Args[keyIdx],
+						"label key passed to Registry.%s must be a compile-time constant", sel.Sel.Name))
+				}
+			case (recv == "CounterVec" || recv == "HistogramVec") && sel.Sel.Name == "With" && len(call.Args) == 1:
+				if !boundedLabel(p, call.Args[0]) {
+					out = append(out, p.finding("metric", call.Args[0],
+						"metric label is synthesized at the call site (unbounded cardinality); pass a constant, a variable, or a same-package mapper returning only constants"))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// telemetryRecv names the telemetry type an expression's static type
+// refers to ("Registry", "CounterVec", ...), or "".
+func telemetryRecv(p *Package, x ast.Expr) string {
+	t := p.Info.TypeOf(x)
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/telemetry") {
+		return ""
+	}
+	return obj.Name()
+}
+
+// constString reports whether call argument i exists and is a constant.
+func constString(p *Package, call *ast.CallExpr, i int) bool {
+	if i >= len(call.Args) {
+		return true // arity error; leave to the compiler
+	}
+	return p.Info.Types[call.Args[i]].Value != nil
+}
+
+// boundedLabel reports whether a With() argument has provably bounded
+// cardinality.
+func boundedLabel(p *Package, arg ast.Expr) bool {
+	if p.Info.Types[arg].Value != nil {
+		return true
+	}
+	switch e := stripParens(arg).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		// A variable, field, or lookup-table read: the value originated
+		// somewhere it could be vetted, not synthesized inline.
+		return true
+	case *ast.CallExpr:
+		if p.Info.Types[e.Fun].IsType() {
+			return false // conversion such as string(b): unbounded
+		}
+		return constReturningMapper(p, e.Fun)
+	}
+	return false
+}
+
+// constReturningMapper reports whether fun resolves to a function
+// declared in this package whose every return statement yields only
+// constants — the statusLabel-style bounded mapper.
+func constReturningMapper(p *Package, fun ast.Expr) bool {
+	var obj types.Object
+	switch f := stripParens(fun).(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[f]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[f.Sel]
+	}
+	if obj == nil {
+		return false
+	}
+	decl := p.funcDeclOf(obj)
+	if decl == nil || decl.Body == nil {
+		return false
+	}
+	sawReturn := false
+	allConst := true
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return allConst
+		}
+		sawReturn = true
+		if len(ret.Results) == 0 {
+			allConst = false
+			return false
+		}
+		for _, r := range ret.Results {
+			if p.Info.Types[r].Value == nil {
+				allConst = false
+			}
+		}
+		return allConst
+	})
+	return sawReturn && allConst
+}

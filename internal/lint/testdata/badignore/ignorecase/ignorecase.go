@@ -1,0 +1,30 @@
+// Package ignorecase holds deliberately malformed suppression directives
+// for the directive-validation unit test: each one must surface as an
+// "ignore" finding, and the trailing clock finding must stay unsuppressed
+// because a broken directive never suppresses anything.
+package ignorecase
+
+// Bare is missing both the rule name and the reason.
+func Bare() {
+	//raqolint:ignore
+}
+
+// Unknown names a rule that does not exist.
+func Unknown() {
+	//raqolint:ignore nosuchrule because it sounded plausible
+}
+
+// NoReason names a rule but gives no justification.
+func NoReason() {
+	//raqolint:ignore maprange
+}
+
+// Broken shows that a reason-less directive does not suppress: the map
+// range below still produces a maprange finding.
+func Broken(m map[string]int) string {
+	//raqolint:ignore maprange
+	for k := range m {
+		return k
+	}
+	return ""
+}

@@ -1,0 +1,23 @@
+// Package wallok sits outside both the simulator scopes (clock rule) and
+// the optimizer scopes (ctx rule): the same constructs that are findings
+// there must produce none here.
+package wallok
+
+import (
+	"context"
+	"time"
+)
+
+// Stamp may read the wall clock — this is not a simulator package.
+func Stamp() time.Time { return time.Now() }
+
+// Drain holds a context and loops without observing it — legal outside
+// the optimizer search packages.
+func Drain(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	_ = ctx
+	return total
+}

@@ -1,0 +1,33 @@
+// Package simclock exercises the clock analyzer inside a simulator scope
+// (internal/cluster): every wall-clock read must be flagged unless a
+// //raqolint:ignore directive with a reason blesses it.
+package simclock
+
+import "time"
+
+// Stamp reads the wall clock inside the simulator scope.
+func Stamp() time.Time {
+	return time.Now() // want `\[clock\] time.Now reads the wall clock`
+}
+
+// Nap blocks on host time inside the simulator scope.
+func Nap(d time.Duration) {
+	time.Sleep(d) // want `\[clock\] time.Sleep reads the wall clock`
+}
+
+// Deadline arms a host-time timer inside the simulator scope.
+func Deadline(d time.Duration) <-chan time.Time {
+	return time.After(d) // want `\[clock\] time.After reads the wall clock`
+}
+
+// Elapsed demonstrates the suppression policy: the directive names the
+// rule and gives a reason, so the finding on the next line is filtered.
+func Elapsed(start time.Time) time.Duration {
+	//raqolint:ignore clock decorates log lines only; never feeds simulated state
+	return time.Since(start)
+}
+
+// Span only names time types — types are not wall-clock reads.
+func Span(a, b time.Time) time.Duration {
+	return b.Sub(a)
+}

@@ -1,0 +1,61 @@
+// Package nondetcase exercises the nondet analyzer: map iteration whose
+// order can leak into results (rule maprange) and randomness that bypasses
+// the explicit-seed discipline (rule randsrc). Both rules run module-wide.
+package nondetcase
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Best picks a winner in map-iteration order — the bug class behind
+// nondeterministic plan choice.
+func Best(costs map[string]float64) string {
+	best, bestCost := "", 0.0
+	for k, c := range costs { // want `\[maprange\] range over map`
+		if best == "" || c < bestCost {
+			best, bestCost = k, c
+		}
+	}
+	return best
+}
+
+// Total reduces commutatively — order-insensitive, no finding.
+func Total(costs map[string]float64) float64 {
+	total := 0.0
+	for _, c := range costs {
+		total += c
+	}
+	return total
+}
+
+// Keys collects (behind a filter) and sorts before use — the canonical
+// exempt idiom, including the if-wrapped append.
+func Keys(costs map[string]float64) []string {
+	var out []string
+	for k := range costs {
+		if k == "" {
+			continue
+		}
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Pick draws from the package-global source.
+func Pick(n int) int {
+	return rand.Intn(n) // want `\[randsrc\] rand\.Intn draws from the global source`
+}
+
+// ClockSeeded builds a source from the wall clock — unreproducible.
+func ClockSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand\.New seeded from the clock` `rand\.NewSource seeded from the clock`
+}
+
+// Shuffle threads an explicitly seeded *rand.Rand — the blessed pattern,
+// no finding (the type reference in the signature is fine too).
+func Shuffle(r *rand.Rand, xs []int) {
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

@@ -1,0 +1,49 @@
+// Package ctxcase exercises the cancellation analyzer inside the
+// optimizer scope: a search function holding a context must observe it
+// in at least one loop.
+package ctxcase
+
+import "context"
+
+// Search loops without ever consulting ctx — cancellation cannot stop it.
+func Search(ctx context.Context, n int) int { // want `\[ctx\] Search holds a context but none of its loops observe it`
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// Guarded checks ctx.Err() each iteration — no finding.
+func Guarded(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += i
+	}
+	return total
+}
+
+// Local covers the `ctx := parent` pattern: the local context is still a
+// context, and the loop passes it to the per-iteration call — no finding.
+func Local(parent context.Context, n int) int {
+	ctx := parent
+	total := 0
+	for i := 0; i < n; i++ {
+		total += step(ctx, i)
+	}
+	return total
+}
+
+func step(_ context.Context, i int) int { return i }
+
+// Pure has loops but no context — nothing to observe, no finding.
+func Pure(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}

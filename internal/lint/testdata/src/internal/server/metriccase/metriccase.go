@@ -1,0 +1,36 @@
+// Package metriccase exercises the telemetry analyzer: metric family
+// names and vec label keys must be compile-time constants, and labels
+// passed to With must have provably bounded cardinality.
+package metriccase
+
+import (
+	"fmt"
+	"strconv"
+
+	"raqo/internal/telemetry"
+)
+
+// Register drives every rule branch against the real telemetry types.
+func Register(r *telemetry.Registry, endpoint string, code int) {
+	r.Counter("requests_total", "total requests").Inc()
+	v := r.CounterVec("responses_total", "responses by status", "status")
+	v.With("200").Inc()             // constant label
+	v.With(endpoint).Inc()          // variable: vetted at its origin
+	v.With(statusLabel(code)).Inc() // same-package mapper returning only constants
+
+	r.Counter(fmt.Sprintf("requests_%s_total", endpoint), "per endpoint").Inc() // want `\[metric\] metric name passed to Registry\.Counter must be a compile-time constant`
+	v.With(strconv.Itoa(code)).Inc()                                            // want `\[metric\] metric label is synthesized at the call site`
+	bad := r.CounterVec("errors_total", "errors", endpoint)                     // want `\[metric\] label key passed to Registry\.CounterVec must be a compile-time constant`
+	bad.With("io").Inc()
+}
+
+// statusLabel is the bounded-mapper pattern: every return is a constant.
+func statusLabel(code int) string {
+	if code >= 500 {
+		return "5xx"
+	}
+	if code >= 400 {
+		return "4xx"
+	}
+	return "ok"
+}

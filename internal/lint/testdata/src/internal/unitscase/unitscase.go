@@ -1,0 +1,37 @@
+// Package unitscase exercises the units analyzer: raw float64 sizes on
+// exported API (rule units) and units.Bytes mixed with bare literals
+// (rule unitmix). GB/MB-suffixed float64 names are the sanctioned
+// model-space convention and stay legal.
+package unitscase
+
+import "raqo/internal/units"
+
+// Config is exported API surface; ambiguous raw float64 size fields lose
+// their unit.
+type Config struct {
+	ShuffleBytes float64 // want `\[units\] field "ShuffleBytes" of exported Config is a raw float64 size`
+	PeakMem      float64 // want `\[units\] field "PeakMem" of exported Config is a raw float64 size`
+	Containers   float64 // want `\[units\] field "Containers" of exported Config is a raw float64 size`
+	DataGB       float64 // unit-suffixed float: the documented model-space convention
+	rawMem       float64 // unexported fields are not API surface
+}
+
+// Reserve takes an ambiguous raw size.
+func Reserve(bufBytes float64) float64 { return bufBytes } // want `\[units\] parameter "bufBytes" of exported Reserve is a raw float64 size`
+
+// TotalBytes hides the unit in an unnamed float64 result.
+func TotalBytes(c Config) float64 { return c.DataGB } // want `\[units\] exported TotalBytes returns a raw float64 size`
+
+// Cost carries explicit GB suffixes — the paper's model space, no finding.
+func Cost(ssGB, csGB float64, nc int) float64 { return ssGB * csGB * float64(nc) }
+
+// Spill compares a typed size with a bare literal — a forgotten unit.
+func Spill(b units.Bytes) bool {
+	return b > 4096 // want `\[unitmix\] arithmetic mixes units\.Bytes with a bare numeric literal`
+}
+
+// Window does the arithmetic in units constants and compares with zero —
+// both legal.
+func Window(b units.Bytes) bool {
+	return b > 4*units.MB && b != 0
+}

@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Units returns the units-hygiene analyzer. Rule "units" flags exported
+// API surface that passes sizes around as raw float64s under byte- or
+// memory-flavoured names (use units.Bytes or a typed wrapper; float64
+// names carrying an explicit GB/MB unit suffix, like ContainerGB, are the
+// sanctioned model-space convention documented in internal/units). It also
+// flags float64-typed "containers" — a container count is discrete. Rule
+// "unitmix" flags arithmetic that mixes units.Bytes with bare numeric
+// literals, where a forgotten unit multiplies silently.
+func Units() *Analyzer {
+	return &Analyzer{
+		Name:  "units",
+		Doc:   "sizes cross exported APIs as units.Bytes or unit-suffixed floats, never anonymously",
+		Rules: []string{"units", "unitmix"},
+		Run:   runUnits,
+	}
+}
+
+func runUnits(p *Package) []Finding {
+	var out []Finding
+	out = append(out, unitNames(p)...)
+	out = append(out, unitMix(p)...)
+	return out
+}
+
+// ambiguousSizeName reports whether a name claims to hold bytes or memory
+// (so a raw float64 loses the unit) or a container count (so float64
+// loses discreteness).
+func ambiguousSizeName(name string) bool {
+	l := strings.ToLower(name)
+	return strings.HasSuffix(l, "bytes") ||
+		strings.HasSuffix(l, "mem") || strings.HasSuffix(l, "memory") ||
+		strings.HasSuffix(l, "containers")
+}
+
+// floatSized reports whether t is float64 or a slice/array of float64 —
+// the shapes the rule polices.
+func floatSized(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Kind() == types.Float64
+	case *types.Slice:
+		return floatSized(u.Elem())
+	case *types.Array:
+		return floatSized(u.Elem())
+	}
+	return false
+}
+
+func unitNames(p *Package) []Finding {
+	var out []Finding
+	checkFields := func(fl *ast.FieldList, what, owner string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := p.Info.TypeOf(field.Type)
+			if t == nil || !floatSized(t) {
+				continue
+			}
+			for _, name := range field.Names {
+				if what == "field" && !ast.IsExported(name.Name) {
+					continue
+				}
+				if !ambiguousSizeName(name.Name) {
+					continue
+				}
+				out = append(out, p.finding("units", name,
+					"%s %q of exported %s is a raw float64 size; use units.Bytes (or an int count) so the unit is typed", what, name.Name, owner))
+			}
+		}
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			switch decl := d.(type) {
+			case *ast.FuncDecl:
+				if !ast.IsExported(decl.Name.Name) || !exportedRecv(decl) {
+					continue
+				}
+				checkFields(decl.Type.Params, "parameter", decl.Name.Name)
+				checkFields(decl.Type.Results, "result", decl.Name.Name)
+				// An unnamed float64 result takes its unit from the
+				// function's own name: Bytes() float64 hides the unit.
+				if ambiguousSizeName(decl.Name.Name) && decl.Type.Results != nil {
+					for _, r := range decl.Type.Results.List {
+						if len(r.Names) == 0 {
+							if t := p.Info.TypeOf(r.Type); t != nil && floatSized(t) {
+								out = append(out, p.finding("units", decl.Name,
+									"exported %s returns a raw float64 size; return units.Bytes so the unit is typed", decl.Name.Name))
+							}
+						}
+					}
+				}
+			case *ast.GenDecl:
+				if decl.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range decl.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !ast.IsExported(ts.Name.Name) {
+						continue
+					}
+					switch t := ts.Type.(type) {
+					case *ast.StructType:
+						checkFields(t.Fields, "field", ts.Name.Name)
+					case *ast.InterfaceType:
+						for _, m := range t.Methods.List {
+							if ft, ok := m.Type.(*ast.FuncType); ok && len(m.Names) > 0 {
+								checkFields(ft.Params, "parameter", ts.Name.Name+"."+m.Names[0].Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// exportedRecv reports whether a function's receiver (if any) names an
+// exported type — methods of unexported types are not API surface.
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.Ident:
+			return ast.IsExported(x.Name)
+		default:
+			return true
+		}
+	}
+}
+
+// mixOps are the operators where a bare literal silently adopts Bytes.
+var mixOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.LSS: true, token.LEQ: true, token.GTR: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+}
+
+func unitMix(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || !mixOps[be.Op] {
+				return true
+			}
+			x, y := stripParens(be.X), stripParens(be.Y)
+			var lit ast.Expr
+			switch {
+			case isUnitsBytes(p.Info.TypeOf(x)) && bareNonZeroLiteral(y):
+				lit = y
+			case isUnitsBytes(p.Info.TypeOf(y)) && bareNonZeroLiteral(x):
+				lit = x
+			default:
+				return true
+			}
+			out = append(out, p.finding("unitmix", lit,
+				"arithmetic mixes units.Bytes with a bare numeric literal; spell the size in units constants (e.g. 64*units.MB) or units.FromGB"))
+			return true
+		})
+	}
+	return out
+}
+
+// isUnitsBytes reports whether t is the named type units.Bytes.
+func isUnitsBytes(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Bytes" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/units")
+}
+
+// bareNonZeroLiteral reports whether e is built purely from numeric
+// literals (5, 1<<20, 2*1024) with a non-zero value. Comparisons with 0
+// and typed constants like units.MB stay legal.
+func bareNonZeroLiteral(e ast.Expr) bool {
+	switch x := stripParens(e).(type) {
+	case *ast.BasicLit:
+		return x.Kind == token.INT && x.Value != "0" || x.Kind == token.FLOAT
+	case *ast.UnaryExpr:
+		return bareNonZeroLiteral(x.X)
+	case *ast.BinaryExpr:
+		return bareNonZeroLiteral(x.X) && bareLiteral(x.Y)
+	}
+	return false
+}
+
+// bareLiteral is bareNonZeroLiteral without the zero exclusion, for the
+// right-hand side of compound literal arithmetic like 1<<20.
+func bareLiteral(e ast.Expr) bool {
+	switch x := stripParens(e).(type) {
+	case *ast.BasicLit:
+		return x.Kind == token.INT || x.Kind == token.FLOAT
+	case *ast.UnaryExpr:
+		return bareLiteral(x.X)
+	case *ast.BinaryExpr:
+		return bareLiteral(x.X) && bareLiteral(x.Y)
+	}
+	return false
+}

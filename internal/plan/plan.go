@@ -211,8 +211,10 @@ func (n *Node) IsScan() bool { return n.Table != "" }
 // Rows returns the estimated output cardinality.
 func (n *Node) Rows() float64 { return n.rows }
 
-// Bytes returns the estimated output size in bytes.
-func (n *Node) Bytes() float64 { return n.bytes }
+// Bytes returns the estimated output size. The internal estimate is kept
+// as float64 for the cost model; the exported accessor speaks units.Bytes
+// so callers cannot confuse it with a GB-denominated figure.
+func (n *Node) Bytes() units.Bytes { return units.Bytes(n.bytes) }
 
 // OutputGB returns the estimated output size in GB.
 func (n *Node) OutputGB() float64 { return n.bytes / float64(units.GB) }

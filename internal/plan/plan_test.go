@@ -54,7 +54,7 @@ func TestScanStats(t *testing.T) {
 	if n.Rows() != float64(tab.Rows) {
 		t.Errorf("rows = %v, want %v", n.Rows(), tab.Rows)
 	}
-	if n.Bytes() != float64(tab.Size()) {
+	if n.Bytes() != tab.Size() {
 		t.Errorf("bytes = %v, want %v", n.Bytes(), tab.Size())
 	}
 	if !n.IsScan() {
@@ -79,7 +79,7 @@ func TestJoinCardinalityPKFK(t *testing.T) {
 	}
 	// Output width = sum of input widths.
 	wantWidth := 128.0 + 110.0
-	gotWidth := j.Bytes() / j.Rows()
+	gotWidth := float64(j.Bytes()) / j.Rows()
 	if math.Abs(gotWidth-wantWidth) > 1e-6 {
 		t.Errorf("output width = %v, want %v", gotWidth, wantWidth)
 	}

@@ -237,7 +237,43 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		start := time.Now()
 		h(rec, r)
 		s.metrics.Latency.With(endpoint).Observe(time.Since(start).Seconds())
-		s.metrics.Responses.With(strconv.Itoa(rec.code)).Inc()
+		s.metrics.Responses.With(statusLabel(rec.code)).Inc()
+	}
+}
+
+// statusLabel maps a response code onto the closed set of labels the
+// server can emit, keeping the responses_total series bounded even if a
+// handler ever writes an unexpected code.
+func statusLabel(code int) string {
+	switch code {
+	case http.StatusOK:
+		return "200"
+	case http.StatusBadRequest:
+		return "400"
+	case http.StatusNotFound:
+		return "404"
+	case http.StatusMethodNotAllowed:
+		return "405"
+	case http.StatusUnprocessableEntity:
+		return "422"
+	case http.StatusTooManyRequests:
+		return "429"
+	case 499: // client cancelled (nginx convention)
+		return "499"
+	case http.StatusInternalServerError:
+		return "500"
+	case http.StatusGatewayTimeout:
+		return "504"
+	}
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	case code >= 300:
+		return "3xx"
+	default:
+		return "2xx"
 	}
 }
 

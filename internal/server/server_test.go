@@ -584,3 +584,19 @@ func TestServeGracefulDrain(t *testing.T) {
 		t.Fatal("Serve never returned after cancellation")
 	}
 }
+
+// TestStatusLabelBounded pins the raqolint metric fix: response codes map
+// onto a closed label set, so responses_total cardinality stays bounded
+// no matter what a handler writes.
+func TestStatusLabelBounded(t *testing.T) {
+	cases := map[int]string{
+		200: "200", 400: "400", 404: "404", 405: "405", 422: "422",
+		429: "429", 499: "499", 500: "500", 504: "504",
+		201: "2xx", 302: "3xx", 418: "4xx", 503: "5xx",
+	}
+	for code, want := range cases {
+		if got := statusLabel(code); got != want {
+			t.Errorf("statusLabel(%d) = %q, want %q", code, got, want)
+		}
+	}
+}

@@ -7,7 +7,10 @@ set -eu
 GO=${GO:-go}
 tmp=$(mktemp -d)
 out="$tmp/serve.out"
-trap 'kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT INT TERM
+# pid is set only after the server forks; guard the expansion so the trap
+# stays safe under `set -u` when the build fails before the fork.
+pid=""
+trap 'if [ -n "${pid:-}" ]; then kill "$pid" 2>/dev/null || true; fi; rm -rf "$tmp"' EXIT INT TERM
 
 "$GO" build -o "$tmp/raqo" ./cmd/raqo
 
