@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json bench-serve-json bench-lint-json smoke lint lint-fix-check
+.PHONY: check fmt vet build test race bench bench-json bench-serve-json bench-lint-json bench-feedback smoke smoke-feedback lint lint-fix-check
 
-check: fmt vet build lint lint-fix-check race bench smoke
+check: fmt vet build lint lint-fix-check race bench smoke smoke-feedback
 
 # Fail when any file needs gofmt.
 fmt:
@@ -52,7 +52,17 @@ bench-serve-json:
 bench-lint-json:
 	RAQO_BENCH_JSON=1 $(GO) test -run TestWriteLintBenchJSON .
 
+# Record feedback ingest + online recalibration cost in BENCH_feedback.json.
+bench-feedback:
+	RAQO_BENCH_JSON=1 $(GO) test -run TestWriteFeedbackBenchJSON .
+
 # End-to-end smoke test: start `raqo serve` on an ephemeral port, hit
 # /healthz and /v1/optimize, then check the SIGTERM drain.
 smoke:
 	sh scripts/smoke_serve.sh
+
+# End-to-end adaptivity smoke test: serve with a fast recalibration loop,
+# stream drifting feedback, wait for the model version to advance, then
+# replay the journal offline with `raqo calibrate`.
+smoke-feedback:
+	sh scripts/smoke_feedback.sh

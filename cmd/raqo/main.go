@@ -7,7 +7,8 @@
 //	raqo figure <fig1|fig2|...|fig15b|all>
 //	raqo optimize -query Q3 [-planner selinger|randomized] [-mode joint|fixed|budget|price] [-json]
 //	raqo batch [-queries Q12,Q3,Q2,All] [-parallel N] [-workers N] [-memo] [-cache GB] [-json]
-//	raqo serve [-addr :8080] [-planner selinger|randomized] [-inflight N] [-queue N]
+//	raqo serve [-addr :8080] [-planner selinger|randomized] [-max-inflight N] [-queue-depth N] [-journal FILE]
+//	raqo calibrate -journal FILE [-trained]
 //	raqo trees [-engine hive|spark]
 //	raqo trace [-seed N]
 //	raqo simulate -query Q3 [-containers N] [-gb G]
@@ -41,6 +42,8 @@ func main() {
 		err = batchCmd(os.Args[2:])
 	case "serve":
 		err = serveCmd(os.Args[2:])
+	case "calibrate":
+		err = calibrateCmd(os.Args[2:])
 	case "trees":
 		err = treesCmd(os.Args[2:])
 	case "trace":
@@ -69,6 +72,7 @@ func usage() {
   raqo optimize [flags]    jointly optimize a TPC-H query
   raqo batch [flags]       jointly optimize a multi-query workload concurrently
   raqo serve [flags]       run the long-running optimizer HTTP service
+  raqo calibrate [flags]   replay a feedback journal and retrain the cost models offline
   raqo trees [flags]       print default and RAQO decision trees
   raqo trace [flags]       simulate the shared-cluster queueing trace (fig 1)
   raqo simulate [flags]    execute an optimized plan on the engine simulator

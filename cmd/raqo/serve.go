@@ -10,26 +10,44 @@ import (
 	"time"
 
 	"raqo"
+	"raqo/internal/feedback"
 	"raqo/internal/server"
 )
 
-// serveCmd runs the long-running optimizer service: the RAQO component of
-// the paper's Figure 8 architecture, serving joint (plan, resource)
-// decisions over HTTP with a process-wide warm cache, admission control
-// and Prometheus metrics. SIGINT/SIGTERM drain gracefully.
-func serveCmd(args []string) error {
+// serveSettings is the parsed form of `raqo serve`'s flags: the server
+// configuration plus the listen address and the planner/scale labels the
+// ready line prints. Kept separate from serveCmd so the flag→Config
+// mapping is unit-testable.
+type serveSettings struct {
+	addr    string
+	planner string
+	sf      float64
+	cfg     server.Config
+}
+
+// parseServeFlags maps the serve flag set onto a server.Config. Admission
+// control is fully flag-driven: -max-inflight, -queue-depth and
+// -queue-wait replace what used to be hard-coded serving defaults.
+func parseServeFlags(args []string) (*serveSettings, error) {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address (host:port; :0 picks an ephemeral port)")
 	plannerName := fs.String("planner", "selinger", "query planner: selinger or randomized")
 	sf := fs.Float64("sf", 100, "TPC-H scale factor")
 	cacheThreshold := fs.Float64("cache", 1, "resource-plan cache data-delta threshold in GB")
-	inFlight := fs.Int("inflight", 0, "max concurrently planning requests (0 = max(2, NumCPU))")
-	queue := fs.Int("queue", 64, "admission wait-queue depth")
-	queueTimeout := fs.Duration("queue-timeout", 2*time.Second, "max time a request waits for an admission slot")
+	maxInFlight := fs.Int("max-inflight", 0, "max concurrently planning requests (0 = max(2, NumCPU))")
+	queueDepth := fs.Int("queue-depth", 64, "admission wait-queue depth")
+	queueWait := fs.Duration("queue-wait", 2*time.Second, "max time a request waits for an admission slot")
 	requestTimeout := fs.Duration("request-timeout", 30*time.Second, "max planning time per request")
 	trained := fs.Bool("trained", true, "train cost models on the simulator (false = paper coefficients)")
+	journal := fs.String("journal", "", "append execution feedback to this JSONL journal")
+	feedbackCap := fs.Int("feedback-capacity", 0, "in-memory feedback ring capacity (0 = default)")
+	driftThreshold := fs.Float64("drift-threshold", 0, "relative-error quantile that declares model drift (0 = default)")
+	driftQuantile := fs.Float64("drift-quantile", 0, "error quantile the drift detector watches (0 = default)")
+	driftWindow := fs.Int("drift-window", 0, "per-class error window size (0 = default)")
+	driftMinSamples := fs.Int("drift-min-samples", 0, "min windowed samples before a class can drift (0 = default)")
+	recalInterval := fs.Duration("recal-interval", 0, "background recalibration check interval (0 = 30s, negative disables)")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return nil, err
 	}
 
 	opts := raqo.Options{}
@@ -39,32 +57,59 @@ func serveCmd(args []string) error {
 	case "randomized":
 		opts.Planner = raqo.FastRandomized
 	default:
-		return fmt.Errorf("unknown planner %q", *plannerName)
+		return nil, fmt.Errorf("unknown planner %q", *plannerName)
 	}
 	if *trained {
 		models, err := raqo.TrainModels(raqo.Hive())
 		if err != nil {
-			return err
+			return nil, err
 		}
 		opts.Models = models
 	}
 
-	s, err := server.New(server.Config{
-		SF:               *sf,
-		Options:          opts,
-		CacheThresholdGB: *cacheThreshold,
-		MaxInFlight:      *inFlight,
-		MaxQueue:         *queue,
-		QueueTimeout:     *queueTimeout,
-		RequestTimeout:   *requestTimeout,
-	})
+	return &serveSettings{
+		addr:    *addr,
+		planner: *plannerName,
+		sf:      *sf,
+		cfg: server.Config{
+			SF:               *sf,
+			Options:          opts,
+			CacheThresholdGB: *cacheThreshold,
+			MaxInFlight:      *maxInFlight,
+			MaxQueue:         *queueDepth,
+			QueueTimeout:     *queueWait,
+			RequestTimeout:   *requestTimeout,
+			JournalPath:      *journal,
+			FeedbackCapacity: *feedbackCap,
+			Drift: feedback.DriftConfig{
+				Threshold:  *driftThreshold,
+				Quantile:   *driftQuantile,
+				Window:     *driftWindow,
+				MinSamples: *driftMinSamples,
+			},
+			RecalInterval: *recalInterval,
+		},
+	}, nil
+}
+
+// serveCmd runs the long-running optimizer service: the RAQO component of
+// the paper's Figure 8 architecture, serving joint (plan, resource)
+// decisions over HTTP with a process-wide warm cache, admission control,
+// the execution-feedback loop and Prometheus metrics. SIGINT/SIGTERM
+// drain gracefully.
+func serveCmd(args []string) error {
+	st, err := parseServeFlags(args)
+	if err != nil {
+		return err
+	}
+	s, err := server.New(st.cfg)
 	if err != nil {
 		return err
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return s.Serve(ctx, *addr, func(bound string) {
-		fmt.Printf("raqo serve: listening on %s (planner %s, sf %g)\n", bound, *plannerName, *sf)
+	return s.Serve(ctx, st.addr, func(bound string) {
+		fmt.Printf("raqo serve: listening on %s (planner %s, sf %g)\n", bound, st.planner, st.sf)
 	})
 }

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"raqo/internal/feedback"
+	"raqo/internal/workload"
+
+	"raqo"
+)
+
+// TestParseServeFlagsAdmission pins the admission knobs to their flags:
+// -max-inflight, -queue-depth and -queue-wait land verbatim in the server
+// config instead of being hard-coded serving defaults.
+func TestParseServeFlagsAdmission(t *testing.T) {
+	st, err := parseServeFlags([]string{
+		"-max-inflight", "3", "-queue-depth", "7", "-queue-wait", "250ms",
+		"-trained=false",
+	})
+	if err != nil {
+		t.Fatalf("parseServeFlags: %v", err)
+	}
+	if st.cfg.MaxInFlight != 3 {
+		t.Errorf("MaxInFlight = %d, want 3", st.cfg.MaxInFlight)
+	}
+	if st.cfg.MaxQueue != 7 {
+		t.Errorf("MaxQueue = %d, want 7", st.cfg.MaxQueue)
+	}
+	if st.cfg.QueueTimeout != 250*time.Millisecond {
+		t.Errorf("QueueTimeout = %v, want 250ms", st.cfg.QueueTimeout)
+	}
+}
+
+// TestParseServeFlagsFeedback maps the feedback-loop flags onto the
+// journal, store, drift and recalibration config.
+func TestParseServeFlagsFeedback(t *testing.T) {
+	st, err := parseServeFlags([]string{
+		"-journal", "/tmp/j.jsonl", "-feedback-capacity", "128",
+		"-drift-threshold", "0.3", "-drift-quantile", "0.9",
+		"-drift-window", "32", "-drift-min-samples", "4",
+		"-recal-interval", "5s", "-trained=false",
+	})
+	if err != nil {
+		t.Fatalf("parseServeFlags: %v", err)
+	}
+	if st.cfg.JournalPath != "/tmp/j.jsonl" {
+		t.Errorf("JournalPath = %q", st.cfg.JournalPath)
+	}
+	if st.cfg.FeedbackCapacity != 128 {
+		t.Errorf("FeedbackCapacity = %d, want 128", st.cfg.FeedbackCapacity)
+	}
+	want := feedback.DriftConfig{Threshold: 0.3, Quantile: 0.9, Window: 32, MinSamples: 4}
+	if st.cfg.Drift != want {
+		t.Errorf("Drift = %+v, want %+v", st.cfg.Drift, want)
+	}
+	if st.cfg.RecalInterval != 5*time.Second {
+		t.Errorf("RecalInterval = %v, want 5s", st.cfg.RecalInterval)
+	}
+}
+
+func TestParseServeFlagsRejectsUnknownPlanner(t *testing.T) {
+	if _, err := parseServeFlags([]string{"-planner", "psychic"}); err == nil {
+		t.Fatal("unknown planner accepted")
+	}
+}
+
+// TestCalibrateCmdReducesError writes a journal of accurate observations
+// (simulator ground truth) and replays it with the paper-coefficient seed:
+// the reported error must drop across recalibration, and replaying the
+// same journal twice must print identical numbers (determinism).
+func TestCalibrateCmdReducesError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	grid := workload.DefaultProfileGrid(raqo.Hive())[:60]
+	obs := feedback.SyntheticObservations("hive", raqo.PaperModels(), grid)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatalf("create journal: %v", err)
+	}
+	enc := json.NewEncoder(f)
+	for _, o := range obs {
+		if err := enc.Encode(o); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close journal: %v", err)
+	}
+
+	run := func() string {
+		return string(captureStdout(t, func() error {
+			return calibrateCmd([]string{"-journal", path, "-trained=false"})
+		}))
+	}
+	out := run()
+	re := regexp.MustCompile(`mean abs rel error: ([0-9.]+) before -> ([0-9.]+) after`)
+	m := re.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("calibrate output missing error line:\n%s", out)
+	}
+	before, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("parse before: %v", err)
+	}
+	after, err := strconv.ParseFloat(m[2], 64)
+	if err != nil {
+		t.Fatalf("parse after: %v", err)
+	}
+	if after >= before {
+		t.Fatalf("error did not drop: %g -> %g\n%s", before, after, out)
+	}
+	if !strings.Contains(out, "version 2") {
+		t.Errorf("calibrate output missing recalibrated version:\n%s", out)
+	}
+
+	if again := run(); again != out {
+		t.Fatalf("replaying the same journal printed different output:\n%s\nvs\n%s", out, again)
+	}
+}
+
+func TestCalibrateCmdRequiresJournal(t *testing.T) {
+	if err := calibrateCmd(nil); err == nil {
+		t.Fatal("calibrate without -journal succeeded")
+	}
+}

@@ -236,3 +236,58 @@ func TestFractionAtLeastEmpty(t *testing.T) {
 		t.Errorf("empty = %v", got)
 	}
 }
+
+// jobResult builds a JobResult with the given queue/run ratio directly.
+func jobResult(queue, run float64) JobResult {
+	return JobResult{Job: Job{Duration: run}, QueueTime: queue}
+}
+
+func TestRatioCDFEmpty(t *testing.T) {
+	fr, ra := RatioCDF(nil)
+	if len(fr) != 0 || len(ra) != 0 {
+		t.Fatalf("empty results gave %d fractions, %d ratios", len(fr), len(ra))
+	}
+}
+
+func TestRatioCDFSingleJob(t *testing.T) {
+	fr, ra := RatioCDF([]JobResult{jobResult(4, 2)})
+	if len(fr) != 1 || len(ra) != 1 {
+		t.Fatalf("single job gave %d fractions, %d ratios", len(fr), len(ra))
+	}
+	if fr[0] != 1 {
+		t.Errorf("fraction = %g, want 1 (the single job is the whole CDF)", fr[0])
+	}
+	if ra[0] != 2 {
+		t.Errorf("ratio = %g, want 2", ra[0])
+	}
+}
+
+// TestFractionAtLeastBoundaries pins the comparison as inclusive: a job
+// whose ratio is exactly x counts, x=0 counts everything, and a
+// zero-duration job contributes ratio 0 rather than dividing by zero.
+func TestFractionAtLeastBoundaries(t *testing.T) {
+	res := []JobResult{jobResult(1, 2), jobResult(2, 2), jobResult(4, 2)} // ratios 0.5, 1, 2
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 1},       // every ratio is >= 0
+		{0.5, 1},     // x exactly at the smallest ratio: inclusive
+		{1, 2.0 / 3}, // x exactly at a middle ratio
+		{2, 1.0 / 3}, // x exactly at the largest ratio
+		{3, 0},       // above every ratio
+	}
+	for _, tc := range cases {
+		if got := FractionAtLeast(res, tc.x); got != tc.want {
+			t.Errorf("FractionAtLeast(x=%g) = %g, want %g", tc.x, got, tc.want)
+		}
+	}
+
+	zero := []JobResult{jobResult(5, 0)}
+	if got := zero[0].Ratio(); got != 0 {
+		t.Errorf("zero-duration ratio = %g, want 0", got)
+	}
+	if got := FractionAtLeast(zero, 1); got != 0 {
+		t.Errorf("zero-duration job counted at x=1: %g", got)
+	}
+}

@@ -36,7 +36,7 @@ func (o *Optimizer) ExplainOperators(d *Decision) ([]OperatorExplain, error) {
 	joins := d.Plan.Joins()
 	out := make([]OperatorExplain, 0, len(joins))
 	for _, j := range joins {
-		model, ok := o.opts.Models.For(j.Algo)
+		model, ok := o.models.Load().For(j.Algo)
 		if !ok {
 			return nil, fmt.Errorf("core: no model for %s", j.Algo)
 		}
@@ -54,7 +54,7 @@ func (o *Optimizer) ExplainOperators(d *Decision) ([]OperatorExplain, error) {
 		if j.Algo == plan.SMJ {
 			other = plan.BHJ
 		}
-		if altModel, ok := o.opts.Models.For(other); ok {
+		if altModel, ok := o.models.Load().For(other); ok {
 			op.AltAlgo = other
 			op.AltSeconds = altModel.Cost(ss, j.Res.ContainerGB, float64(j.Res.Containers))
 			op.AltOK = true

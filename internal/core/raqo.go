@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"raqo/internal/cluster"
@@ -79,6 +80,9 @@ type Optimizer struct {
 	opts Options
 	cond cluster.Conditions
 	memo *CostMemo
+	// models is the live cost-model set, read per planning call and
+	// swappable at runtime (SetModels) — the online-recalibration channel.
+	models atomic.Pointer[cost.Models]
 }
 
 // New builds an Optimizer for the given cluster conditions.
@@ -96,10 +100,30 @@ func New(cond cluster.Conditions, opts Options) (*Optimizer, error) {
 		opts.Resource = &resource.HillClimb{}
 	}
 	o := &Optimizer{opts: opts, cond: cond}
+	o.models.Store(opts.Models)
 	if opts.MemoizeCosts {
 		o.memo = NewCostMemo()
 	}
 	return o, nil
+}
+
+// Models returns the cost-model set planning currently uses.
+func (o *Optimizer) Models() *cost.Models { return o.models.Load() }
+
+// SetModels atomically swaps the cost-model set; planning calls that
+// already started keep the set they loaded, later calls see the new one.
+// The operator-cost memo is reset: its entries are keyed by model name, so
+// versioned model names make stale hits impossible, but entries priced
+// under a retired model would otherwise linger forever.
+func (o *Optimizer) SetModels(m *cost.Models) error {
+	if m == nil {
+		return fmt.Errorf("core: SetModels given nil model set")
+	}
+	o.models.Store(m)
+	if o.memo != nil {
+		o.memo.Reset()
+	}
+	return nil
 }
 
 // Memo returns the operator-cost memo, or nil unless Options.MemoizeCosts
@@ -141,7 +165,7 @@ type Decision struct {
 
 func (o *Optimizer) coster(rp resource.Planner, fixed plan.Resources, cond cluster.Conditions) *Coster {
 	return &Coster{
-		Models:    o.opts.Models,
+		Models:    o.models.Load(),
 		Pricing:   o.opts.Pricing,
 		Resources: rp,
 		Fixed:     fixed,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -22,7 +23,8 @@ func TestTableRendering(t *testing.T) {
 func TestFigureRegistryComplete(t *testing.T) {
 	ids := FigureIDs()
 	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15a", "fig15b"}
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15a", "fig15b",
+		"feedback"}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)
 	}
@@ -282,5 +284,40 @@ func TestFigure10And11Trees(t *testing.T) {
 	trees := strings.Join(f11.Notes, "\n")
 	if !strings.Contains(trees, "Container Size (GB)") {
 		t.Error("RAQO trees should branch on resources")
+	}
+}
+
+// TestFeedbackConvergence regenerates the adaptivity report and checks the
+// headline: streaming accurate feedback against a skewed seed model must
+// recalibrate at least once and collapse the held-out prediction error.
+func TestFeedbackConvergence(t *testing.T) {
+	r, err := FeedbackConvergence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) == 0 || len(r.Tables[0].Rows) < 2 {
+		t.Fatalf("report has no convergence rows: %+v", r)
+	}
+	rows := r.Tables[0].Rows
+	first, last := rows[0], rows[len(rows)-1]
+	// Columns: batch, fed, drifted, model, version, cache-gen, held-out err.
+	if last[4] == "1" {
+		t.Fatalf("model version never advanced: last row %v", last)
+	}
+	var errFirst, errLast float64
+	if _, err := fmt.Sscanf(first[6], "%g", &errFirst); err != nil {
+		t.Fatalf("parse first error %q: %v", first[6], err)
+	}
+	if _, err := fmt.Sscanf(last[6], "%g", &errLast); err != nil {
+		t.Fatalf("parse last error %q: %v", last[6], err)
+	}
+	if errLast >= errFirst && errFirst != 0 {
+		t.Fatalf("held-out error did not converge: %g -> %g", errFirst, errLast)
+	}
+	// The regression family cannot fit the simulator exactly (its ground
+	// truth has a hyperbolic 1/parallelism term), so "converged" means
+	// matching the fully-trained model's own residual (~0.4), not zero.
+	if errLast > 0.5 {
+		t.Fatalf("held-out error after recalibration = %g, want <= 0.5", errLast)
 	}
 }

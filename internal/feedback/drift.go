@@ -1,0 +1,208 @@
+package feedback
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DriftConfig tunes the drift detector.
+type DriftConfig struct {
+	// Window is how many recent samples each (engine, operator class)
+	// keeps; 0 selects DefaultWindow.
+	Window int
+	// Quantile in (0,1] is the error quantile compared against Threshold;
+	// 0 selects DefaultQuantile.
+	Quantile float64
+	// Threshold is the relative prediction error above which the class is
+	// drifted; 0 selects DefaultThreshold (0.5 = 50% off).
+	Threshold float64
+	// MinSamples is how many samples a class needs before it can report
+	// drift; 0 selects DefaultMinSamples.
+	MinSamples int
+}
+
+// Drift detector defaults: a class is drifted once its median relative
+// error over the last 64 samples exceeds 50%, with at least 16 samples of
+// evidence.
+const (
+	DefaultWindow     = 64
+	DefaultQuantile   = 0.5
+	DefaultThreshold  = 0.5
+	DefaultMinSamples = 16
+)
+
+func (c DriftConfig) withDefaults() DriftConfig {
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.Quantile <= 0 || c.Quantile > 1 {
+		c.Quantile = DefaultQuantile
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = DefaultThreshold
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = DefaultMinSamples
+	}
+	return c
+}
+
+// classKey identifies one drift window: an engine and an operator class
+// (the join algorithm, matching the per-model structure of the cost side).
+type classKey struct {
+	engine string
+	class  string
+}
+
+// window is a bounded ring of relative errors.
+type window struct {
+	errs []float64
+	next int
+	full bool
+}
+
+func (w *window) push(e float64) {
+	w.errs[w.next] = e
+	w.next++
+	if w.next == len(w.errs) {
+		w.next = 0
+		w.full = true
+	}
+}
+
+func (w *window) len() int {
+	if w.full {
+		return len(w.errs)
+	}
+	return w.next
+}
+
+// quantile returns the q-quantile of the window's samples (nearest-rank on
+// a sorted copy, deterministic).
+func (w *window) quantile(q float64) float64 {
+	n := w.len()
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), w.errs[:n]...)
+	sort.Float64s(sorted)
+	idx := int(q*float64(n)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return sorted[idx]
+}
+
+// ClassStats is the drift state of one (engine, operator class) window.
+type ClassStats struct {
+	Engine        string  `json:"engine"`
+	Class         string  `json:"class"` // operator class, e.g. "SMJ"
+	Samples       int     `json:"samples"`
+	QuantileError float64 `json:"quantileError"` // error at the configured quantile
+	Drifted       bool    `json:"drifted"`
+}
+
+// Detector tracks windowed relative-error quantiles per (engine, operator
+// class) and reports drift when any sufficiently-sampled class's quantile
+// error exceeds the threshold. Safe for concurrent use.
+type Detector struct {
+	cfg DriftConfig
+
+	mu      sync.Mutex
+	windows map[classKey]*window
+}
+
+// NewDetector builds a drift detector (zero-value fields in cfg select the
+// documented defaults).
+func NewDetector(cfg DriftConfig) *Detector {
+	return &Detector{cfg: cfg.withDefaults(), windows: make(map[classKey]*window)}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (d *Detector) Config() DriftConfig { return d.cfg }
+
+// Observe feeds one observation's operator samples into the per-class
+// windows. The query-level prediction error is tracked under the pseudo
+// class "query" so drift is detectable even for observations without
+// operator detail.
+func (d *Detector) Observe(o Observation) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.push(classKey{o.Engine, "query"}, relError(o.PredictedSeconds, o.ObservedSeconds))
+	for _, s := range o.Operators {
+		d.push(classKey{o.Engine, s.Algo}, s.RelError())
+	}
+}
+
+func (d *Detector) push(k classKey, e float64) {
+	w := d.windows[k]
+	if w == nil {
+		w = &window{errs: make([]float64, d.cfg.Window)}
+		d.windows[k] = w
+	}
+	w.push(e)
+}
+
+// Drifted reports whether any class currently exceeds the drift threshold.
+func (d *Detector) Drifted() bool {
+	for _, s := range d.Stats() {
+		if s.Drifted {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns the per-class drift state, sorted by (engine, class) so
+// the output is deterministic regardless of map iteration order.
+func (d *Detector) Stats() []ClassStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	keys := make([]classKey, 0, len(d.windows))
+	for k := range d.windows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].engine != keys[j].engine {
+			return keys[i].engine < keys[j].engine
+		}
+		return keys[i].class < keys[j].class
+	})
+	out := make([]ClassStats, 0, len(keys))
+	for _, k := range keys {
+		w := d.windows[k]
+		q := w.quantile(d.cfg.Quantile)
+		out = append(out, ClassStats{
+			Engine:        k.engine,
+			Class:         k.class,
+			Samples:       w.len(),
+			QuantileError: q,
+			Drifted:       w.len() >= d.cfg.MinSamples && q > d.cfg.Threshold,
+		})
+	}
+	return out
+}
+
+// Reset clears every window — called after a recalibration so the new
+// model is judged only on its own predictions.
+func (d *Detector) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.windows = make(map[classKey]*window)
+}
+
+// String summarizes the detector state for logs.
+func (d *Detector) String() string {
+	stats := d.Stats()
+	drifted := 0
+	for _, s := range stats {
+		if s.Drifted {
+			drifted++
+		}
+	}
+	return fmt.Sprintf("drift{classes=%d drifted=%d}", len(stats), drifted)
+}

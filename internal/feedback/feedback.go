@@ -1,0 +1,317 @@
+// Package feedback closes the loop from execution back into optimization:
+// the piece the paper leaves open when it notes that calibrated cost models
+// and cached resource plans go stale as data and cluster conditions drift.
+//
+// The subsystem has four parts, composed by internal/server and usable
+// standalone:
+//
+//   - Store: a bounded in-memory ring of execution observations — per query
+//     (signature, engine, predicted vs observed time and money) and per
+//     operator (the cost-model features and the measured stage time) — with
+//     an optional append-only JSONL journal so the accumulated evidence
+//     survives restarts.
+//   - Detector: windowed relative-error quantiles per (engine, operator
+//     class); when the configured quantile exceeds the threshold, the
+//     model has drifted.
+//   - Recalibrator: on drift, re-runs cost.Train on the accumulated
+//     operator samples, swaps the model set in atomically (versioned, via
+//     atomic pointer) and bumps the resource-plan cache generation so
+//     stale configurations are re-planned under the new model.
+//   - Observer: converts execsim results (or scheduler outcomes) into
+//     observations, predicting with the live model set so the recorded
+//     error always measures the model that was actually in charge.
+//
+// Everything is deterministic given the same observation sequence: the
+// ring preserves append order, training consumes samples in that order,
+// and quantiles are computed over sorted copies — replaying a journal
+// reproduces the same model coefficients bit for bit.
+package feedback
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"raqo/internal/cost"
+	"raqo/internal/plan"
+)
+
+// OperatorSample is one join operator's execution feedback: the cost-model
+// feature point (smaller input, container size, container count) with the
+// predicted and observed stage times.
+type OperatorSample struct {
+	Algo             string  `json:"algo"` // "SMJ" or "BHJ"
+	SSGB             float64 `json:"ssGB"` // smaller input, GB
+	CSGB             float64 `json:"csGB"` // container size, GB
+	NC               float64 `json:"nc"`   // concurrent containers
+	PredictedSeconds float64 `json:"predictedSeconds"`
+	ObservedSeconds  float64 `json:"observedSeconds"`
+}
+
+// RelError is the sample's relative prediction error |pred-obs|/obs.
+func (s OperatorSample) RelError() float64 {
+	return relError(s.PredictedSeconds, s.ObservedSeconds)
+}
+
+// Profile converts the sample into cost-model training data.
+func (s OperatorSample) Profile() (cost.Profile, error) {
+	algo, err := parseAlgo(s.Algo)
+	if err != nil {
+		return cost.Profile{}, err
+	}
+	return cost.Profile{Algo: algo, SS: s.SSGB, CS: s.CSGB, NC: s.NC, Seconds: s.ObservedSeconds}, nil
+}
+
+// Observation is one executed query's feedback: what the optimizer
+// promised versus what the engine delivered, plus the per-operator samples
+// that make the evidence trainable.
+type Observation struct {
+	Signature        string           `json:"signature"` // plan signature (with resources)
+	Engine           string           `json:"engine"`    // e.g. "hive", "spark"
+	PredictedSeconds float64          `json:"predictedSeconds"`
+	ObservedSeconds  float64          `json:"observedSeconds"`
+	PredictedDollars float64          `json:"predictedDollars"`
+	ObservedDollars  float64          `json:"observedDollars"`
+	Operators        []OperatorSample `json:"operators,omitempty"`
+}
+
+// RelError is the query-level relative prediction error |pred-obs|/obs.
+func (o *Observation) RelError() float64 {
+	return relError(o.PredictedSeconds, o.ObservedSeconds)
+}
+
+// Validate checks the observation is usable as evidence.
+func (o *Observation) Validate() error {
+	if o.Engine == "" {
+		return fmt.Errorf("feedback: observation missing engine")
+	}
+	if o.ObservedSeconds <= 0 {
+		return fmt.Errorf("feedback: observed time must be positive, got %g", o.ObservedSeconds)
+	}
+	for i, s := range o.Operators {
+		if _, err := parseAlgo(s.Algo); err != nil {
+			return fmt.Errorf("feedback: operator %d: %w", i, err)
+		}
+		if s.SSGB <= 0 || s.CSGB <= 0 || s.NC < 1 {
+			return fmt.Errorf("feedback: operator %d has invalid features ss=%g cs=%g nc=%g",
+				i, s.SSGB, s.CSGB, s.NC)
+		}
+		if s.ObservedSeconds <= 0 {
+			return fmt.Errorf("feedback: operator %d observed time must be positive, got %g",
+				i, s.ObservedSeconds)
+		}
+	}
+	return nil
+}
+
+// parseAlgo maps the wire name onto the plan operator enum.
+func parseAlgo(name string) (plan.JoinAlgo, error) {
+	for _, a := range plan.Algos {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("feedback: unknown join algorithm %q", name)
+}
+
+// relError is |pred-obs| normalized by the observation; obs <= 0 yields 0
+// (such samples are rejected by Validate before they reach a window).
+func relError(pred, obs float64) float64 {
+	if obs <= 0 {
+		return 0
+	}
+	d := pred - obs
+	if d < 0 {
+		d = -d
+	}
+	return d / obs
+}
+
+// Store is the bounded execution-feedback ring. Appends beyond the
+// capacity overwrite the oldest observation; the optional journal records
+// every append durably. Safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	ring    []Observation
+	next    int   // ring write cursor
+	full    bool  // ring has wrapped
+	total   int64 // appends ever
+	journal *Journal
+}
+
+// DefaultStoreCapacity bounds the ring when NewStore is given 0.
+const DefaultStoreCapacity = 4096
+
+// NewStore builds a feedback store holding up to capacity observations
+// (0 selects DefaultStoreCapacity). journal may be nil.
+func NewStore(capacity int, journal *Journal) *Store {
+	if capacity <= 0 {
+		capacity = DefaultStoreCapacity
+	}
+	return &Store{ring: make([]Observation, capacity), journal: journal}
+}
+
+// Append validates and records one observation, journaling it first so a
+// crash never loses acknowledged feedback.
+func (s *Store) Append(o Observation) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	if s.journal != nil {
+		if err := s.journal.Append(o); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	s.ring[s.next] = o
+	s.next++
+	if s.next == len(s.ring) {
+		s.next = 0
+		s.full = true
+	}
+	s.total++
+	s.mu.Unlock()
+	return nil
+}
+
+// Len returns the number of observations currently held.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.full {
+		return len(s.ring)
+	}
+	return s.next
+}
+
+// Total returns the number of observations ever appended (the journal's
+// length when one is attached and never truncated).
+func (s *Store) Total() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Snapshot copies the held observations oldest first — the deterministic
+// order recalibration trains in.
+func (s *Store) Snapshot() []Observation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.full {
+		return append([]Observation(nil), s.ring[:s.next]...)
+	}
+	out := make([]Observation, 0, len(s.ring))
+	out = append(out, s.ring[s.next:]...)
+	out = append(out, s.ring[:s.next]...)
+	return out
+}
+
+// Profiles flattens the held observations into cost-model training
+// samples, oldest observation first, operators in recorded order.
+func (s *Store) Profiles() []cost.Profile {
+	var out []cost.Profile
+	for _, o := range s.Snapshot() {
+		for _, op := range o.Operators {
+			p, err := op.Profile()
+			if err != nil {
+				continue // rejected by Validate on honest appends
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Journal is the append-only JSONL persistence behind a Store: one
+// observation per line, in append order. Replaying the file through a
+// fresh store and recalibrator reproduces the exact model state (see the
+// determinism test), which is also what `raqo calibrate` does offline.
+type Journal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	w    *bufio.Writer
+}
+
+// OpenJournal opens (creating if needed) a journal file for appending.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("feedback: open journal: %w", err)
+	}
+	return &Journal{path: path, f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Append writes one observation as a JSON line and flushes it.
+func (j *Journal) Append(o Observation) error {
+	b, err := json.Marshal(o)
+	if err != nil {
+		return fmt.Errorf("feedback: journal encode: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("feedback: journal %s is closed", j.path)
+	}
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("feedback: journal write: %w", err)
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("feedback: journal flush: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	flushErr := j.w.Flush()
+	closeErr := j.f.Close()
+	j.f = nil
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+// ReadJournal replays a journal file into observations, in append order.
+// Invalid lines fail the replay: a journal is written only through
+// Append, so corruption is worth surfacing, not skipping.
+func ReadJournal(path string) ([]Observation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("feedback: read journal: %w", err)
+	}
+	defer f.Close()
+	var out []Observation
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var o Observation
+		if err := json.Unmarshal(sc.Bytes(), &o); err != nil {
+			return nil, fmt.Errorf("feedback: journal %s line %d: %w", path, line, err)
+		}
+		if err := o.Validate(); err != nil {
+			return nil, fmt.Errorf("feedback: journal %s line %d: %w", path, line, err)
+		}
+		out = append(out, o)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("feedback: journal %s: %w", path, err)
+	}
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package feedback
+
+import (
+	"fmt"
+
+	"raqo/internal/cost"
+	"raqo/internal/execsim"
+	"raqo/internal/plan"
+	"raqo/internal/units"
+)
+
+// Observer converts execution outcomes into feedback observations and
+// feeds them to a recalibrator. Per-operator predictions are made with the
+// recalibrator's live model set at record time, so the recorded error
+// always measures the model generation that was actually in charge.
+type Observer struct {
+	Recal *Recalibrator
+}
+
+// Record builds an observation from an executed plan — predicted at the
+// query level by (predictedSeconds, predictedMoney), observed by the
+// execsim result — feeds it to the recalibrator, and returns it. Stages
+// whose operator has no model are skipped (they contribute no trainable
+// sample) rather than failing the record.
+func (ob *Observer) Record(engine string, root *plan.Node, predictedSeconds float64, predictedMoney units.Dollars, res *execsim.Result) (Observation, error) {
+	if ob.Recal == nil {
+		return Observation{}, fmt.Errorf("feedback: observer has no recalibrator")
+	}
+	if res == nil {
+		return Observation{}, fmt.Errorf("feedback: observer given nil execution result")
+	}
+	models := ob.Recal.Models()
+	o := Observation{
+		Engine:           engine,
+		PredictedSeconds: predictedSeconds,
+		ObservedSeconds:  res.Seconds,
+		PredictedDollars: float64(predictedMoney),
+		ObservedDollars:  float64(res.Money),
+	}
+	if root != nil {
+		o.Signature = root.SignatureWithResources()
+	}
+	for i := range res.Stages {
+		st := &res.Stages[i]
+		top := st.Stage.Top
+		if top == nil || top.IsScan() {
+			continue
+		}
+		m, ok := models.For(top.Algo)
+		if !ok {
+			continue
+		}
+		ss := top.SmallerInputGB()
+		cs := st.Resources.ContainerGB
+		nc := float64(st.Resources.Containers)
+		o.Operators = append(o.Operators, OperatorSample{
+			Algo:             top.Algo.String(),
+			SSGB:             ss,
+			CSGB:             cs,
+			NC:               nc,
+			PredictedSeconds: m.Cost(ss, cs, nc),
+			ObservedSeconds:  st.Seconds,
+		})
+	}
+	return o, ob.Recal.Feed(o)
+}
+
+// SyntheticObservations turns profile samples (whose Seconds are ground
+// truth, e.g. from workload.ProfileRuns against the simulator) into
+// observations predicted by the given model set — one observation per
+// sample, in input order. Used by tests and the calibration harness to
+// stream known-accurate feedback against a possibly-skewed model.
+func SyntheticObservations(engine string, models *cost.Models, profiles []cost.Profile) []Observation {
+	out := make([]Observation, 0, len(profiles))
+	for _, p := range profiles {
+		pred := p.Seconds
+		if m, ok := models.For(p.Algo); ok {
+			pred = m.Cost(p.SS, p.CS, p.NC)
+		}
+		out = append(out, Observation{
+			Signature:        fmt.Sprintf("profile-%s-%g-%g-%g", p.Algo, p.SS, p.CS, p.NC),
+			Engine:           engine,
+			PredictedSeconds: pred,
+			ObservedSeconds:  p.Seconds,
+			Operators: []OperatorSample{{
+				Algo:             p.Algo.String(),
+				SSGB:             p.SS,
+				CSGB:             p.CS,
+				NC:               p.NC,
+				PredictedSeconds: pred,
+				ObservedSeconds:  p.Seconds,
+			}},
+		})
+	}
+	return out
+}
+
+// MeanAbsRelError is the mean |pred-obs|/obs over a set of profile samples
+// under a model set — the before/after score `raqo calibrate` and the
+// convergence experiment report. Samples whose algorithm has no model
+// contribute error 1 (complete ignorance).
+func MeanAbsRelError(models *cost.Models, profiles []cost.Profile) float64 {
+	if len(profiles) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range profiles {
+		m, ok := models.For(p.Algo)
+		if !ok {
+			sum += 1
+			continue
+		}
+		sum += relError(m.Cost(p.SS, p.CS, p.NC), p.Seconds)
+	}
+	return sum / float64(len(profiles))
+}

@@ -1,8 +1,11 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
+	"go/constant"
 	"go/types"
+	"math"
 	"strings"
 )
 
@@ -19,6 +22,10 @@ var registryMethods = map[string]int{
 // vecLabelKeyArg maps vec registrations to the index of their label-key
 // argument.
 var vecLabelKeyArg = map[string]int{"CounterVec": 2, "HistogramVec": 2}
+
+// histogramBucketArg maps histogram registrations to the index of their
+// bucket-boundaries argument.
+var histogramBucketArg = map[string]int{"Histogram": 2, "HistogramVec": 3}
 
 // Telemetry returns the metric-cardinality analyzer (rule "metric").
 // Registration names must be constants. Label values passed to With may
@@ -62,6 +69,11 @@ func runTelemetry(p *Package) []Finding {
 					out = append(out, p.finding("metric", call.Args[keyIdx],
 						"label key passed to Registry.%s must be a compile-time constant", sel.Sel.Name))
 				}
+				if bIdx, isHist := histogramBucketArg[sel.Sel.Name]; isHist {
+					if bad, msg := checkBuckets(p, call, bIdx); bad != nil {
+						out = append(out, p.finding("metric", bad, "%s", msg))
+					}
+				}
 			case (recv == "CounterVec" || recv == "HistogramVec") && sel.Sel.Name == "With" && len(call.Args) == 1:
 				if !boundedLabel(p, call.Args[0]) {
 					out = append(out, p.finding("metric", call.Args[0],
@@ -93,6 +105,43 @@ func telemetryRecv(p *Package, x ast.Expr) string {
 		return ""
 	}
 	return obj.Name()
+}
+
+// checkBuckets inspects a histogram registration's bucket argument when it
+// is a slice literal: an empty literal registers a histogram that can
+// never bucket anything, and boundaries that are not strictly increasing
+// silently misattribute observations. Literals holding computed elements
+// (and non-literal arguments, including nil — the library default) are
+// left alone: only provable mistakes are flagged.
+func checkBuckets(p *Package, call *ast.CallExpr, i int) (ast.Expr, string) {
+	if i >= len(call.Args) {
+		return nil, "" // arity error; leave to the compiler
+	}
+	lit, ok := stripParens(call.Args[i]).(*ast.CompositeLit)
+	if !ok {
+		return nil, ""
+	}
+	if len(lit.Elts) == 0 {
+		return call.Args[i], "histogram bucket slice is empty; pass nil for the default buckets or at least one boundary"
+	}
+	prev := math.Inf(-1)
+	for _, elt := range lit.Elts {
+		val := p.Info.Types[elt].Value
+		if val == nil {
+			return nil, "" // computed boundary: order not provable here
+		}
+		fv := constant.ToFloat(val)
+		if fv.Kind() != constant.Float {
+			return nil, "" // not numeric; leave to the compiler
+		}
+		v, _ := constant.Float64Val(fv)
+		if v <= prev {
+			return elt, fmt.Sprintf(
+				"histogram buckets must be strictly increasing: %g does not follow %g", v, prev)
+		}
+		prev = v
+	}
+	return nil, ""
 }
 
 // constString reports whether call argument i exists and is a constant.

@@ -34,3 +34,20 @@ func statusLabel(code int) string {
 	}
 	return "ok"
 }
+
+// RegisterHistograms drives the bucket-monotonicity branches.
+func RegisterHistograms(r *telemetry.Registry, custom []float64) {
+	r.Histogram("latency_seconds", "latency", nil)                              // nil: library default buckets
+	r.Histogram("queue_seconds", "queue wait", []float64{0.1, 0.5, 1})          // strictly increasing
+	r.HistogramVec("rpc_seconds", "rpc latency", "endpoint", []float64{1, 2.5}) // strictly increasing
+	r.Histogram("dynamic_seconds", "computed boundary", custom)                 // not a literal: unprovable, allowed
+	r.Histogram("scaled_seconds", "computed element", []float64{grow(1), grow(2)})
+
+	r.Histogram("empty_seconds", "no buckets", []float64{})                       // want `\[metric\] histogram bucket slice is empty`
+	r.Histogram("unordered_seconds", "out of order", []float64{0.5, 0.25, 1})     // want `\[metric\] histogram buckets must be strictly increasing: 0\.25 does not follow 0\.5`
+	r.HistogramVec("dup_seconds", "duplicate", "endpoint", []float64{1, 1, 2})    // want `\[metric\] histogram buckets must be strictly increasing: 1 does not follow 1`
+	r.HistogramVec("desc_seconds", "descending", "endpoint", []float64{10, 5, 1}) // want `\[metric\] histogram buckets must be strictly increasing: 5 does not follow 10`
+}
+
+// grow keeps one bucket element non-constant for the unprovable branch.
+func grow(x float64) float64 { return x * 2 }

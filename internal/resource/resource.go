@@ -661,6 +661,30 @@ func (c *Cache) Reset() {
 	// insert either observes the bump (and skips) or lands before the drop
 	// (and is dropped with the index).
 	c.gen.Add(1)
+	c.drop()
+}
+
+// ResetIfGeneration resets the cache only if its generation still equals
+// gen, and reports whether it did. This is the CAS form of Reset for
+// components that observed the cache at some generation, did slow work
+// (e.g. retraining a cost model), and want to invalidate the entries that
+// slow work made stale — without clobbering a cache some other component
+// already rebuilt in the meantime. Exactly one of any set of concurrent
+// callers holding the same observed generation wins.
+func (c *Cache) ResetIfGeneration(gen uint64) bool {
+	c.init()
+	// Same ordering as Reset: the CAS bump is visible before any index is
+	// dropped, so concurrent inserts cannot land in a dropped index.
+	if !c.gen.CompareAndSwap(gen, gen+1) {
+		return false
+	}
+	c.drop()
+	return true
+}
+
+// drop clears every shard index, counting the evicted entries. The caller
+// must already have advanced the generation.
+func (c *Cache) drop() {
 	dropped := int64(0)
 	for _, s := range c.shards {
 		s.mu.Lock()

@@ -2,6 +2,7 @@ package resource
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -337,5 +338,89 @@ func TestHillClimbReductionFactor(t *testing.T) {
 	}
 	if factor := float64(bf.Evaluations()) / float64(hc.Evaluations()); factor < 2 {
 		t.Errorf("hill climb reduction factor = %.1fx, want >= 2x", factor)
+	}
+}
+
+func TestResetIfGeneration(t *testing.T) {
+	c := &Cache{Inner: &HillClimb{}, Mode: Exact}
+	m := quadModel(42, 7)
+	if _, err := c.Plan(m, 1, cond()); err != nil {
+		t.Fatal(err)
+	}
+	gen := c.Stats().Generation
+
+	// Stale generation: no reset, entries survive.
+	if c.ResetIfGeneration(gen + 5) {
+		t.Fatal("reset succeeded with a stale generation")
+	}
+	if c.Size() != 1 || c.Stats().Generation != gen {
+		t.Fatalf("failed CAS mutated the cache: size=%d gen=%d", c.Size(), c.Stats().Generation)
+	}
+
+	// Current generation: resets exactly like Reset.
+	if !c.ResetIfGeneration(gen) {
+		t.Fatal("reset refused with the current generation")
+	}
+	if c.Size() != 0 {
+		t.Error("entries survived ResetIfGeneration")
+	}
+	if g := c.Stats().Generation; g != gen+1 {
+		t.Errorf("generation = %d, want %d", g, gen+1)
+	}
+	if c.Stats().Evictions == 0 {
+		t.Error("eviction not counted")
+	}
+
+	// The observed generation is now stale: a second caller holding it
+	// cannot clobber the rebuilt cache.
+	if _, err := c.Plan(m, 2, cond()); err != nil {
+		t.Fatal(err)
+	}
+	if c.ResetIfGeneration(gen) {
+		t.Fatal("second reset with the consumed generation succeeded")
+	}
+	if c.Size() != 1 {
+		t.Error("rebuilt cache was clobbered")
+	}
+}
+
+// TestResetIfGenerationRace: of N concurrent callers holding the same
+// observed generation, exactly one wins, and the generation advances
+// exactly once. Run with -race.
+func TestResetIfGenerationRace(t *testing.T) {
+	c := &Cache{Inner: &HillClimb{}, Mode: Exact}
+	m := quadModel(42, 7)
+	for round := 0; round < 20; round++ {
+		if _, err := c.Plan(m, float64(round), cond()); err != nil {
+			t.Fatal(err)
+		}
+		gen := c.Stats().Generation
+		const racers = 8
+		wins := make(chan bool, racers)
+		var start, wg sync.WaitGroup
+		start.Add(1)
+		for g := 0; g < racers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				start.Wait()
+				wins <- c.ResetIfGeneration(gen)
+			}()
+		}
+		start.Done()
+		wg.Wait()
+		close(wins)
+		won := 0
+		for w := range wins {
+			if w {
+				won++
+			}
+		}
+		if won != 1 {
+			t.Fatalf("round %d: %d concurrent resets won, want exactly 1", round, won)
+		}
+		if g := c.Stats().Generation; g != gen+1 {
+			t.Fatalf("round %d: generation advanced to %d from %d, want exactly one bump", round, g, gen)
+		}
 	}
 }

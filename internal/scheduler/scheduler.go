@@ -13,7 +13,9 @@ import (
 	"raqo/internal/core"
 	"raqo/internal/cost"
 	"raqo/internal/execsim"
+	"raqo/internal/feedback"
 	"raqo/internal/plan"
+	"raqo/internal/units"
 )
 
 // Policy is what the scheduler does when a stage's requested resources
@@ -75,6 +77,31 @@ type Scheduler struct {
 	// DrainRate approximates how fast queued-for resources free up, in
 	// containers per second, when the Wait policy must queue a job.
 	DrainRate float64
+	// Feedback, when set, receives every execution outcome as a feedback
+	// observation — the channel through which scheduled work trains the
+	// cost model online. Recording is best-effort: a plan the live model
+	// cannot price is simply not recorded, and under the Reoptimize policy
+	// the replanning itself already runs against the recalibrated model
+	// set (the optimizer reads its models per call).
+	Feedback *feedback.Observer
+}
+
+// record reports one executed plan to the feedback observer, predicting
+// with the live model set when the caller has no planner prediction
+// (predictedSeconds <= 0).
+func (s *Scheduler) record(root *plan.Node, predictedSeconds float64, predictedMoney units.Dollars, res *execsim.Result) {
+	if s.Feedback == nil || res == nil {
+		return
+	}
+	if predictedSeconds <= 0 {
+		v, err := s.Feedback.Recal.Models().PlanVector(root, s.Pricing)
+		if err != nil {
+			return
+		}
+		predictedSeconds, predictedMoney = v.Time, v.Money
+	}
+	// Best-effort: an observation the store rejects is dropped, not fatal.
+	_, _ = s.Feedback.Record(s.Engine.Name, root, predictedSeconds, predictedMoney, res)
 }
 
 // maxRequested returns the largest per-stage request of a plan.
@@ -117,6 +144,7 @@ func (s *Scheduler) Submit(q *plan.Query, submitted *plan.Node, avail cluster.Co
 		if err != nil {
 			return nil, err
 		}
+		s.record(submitted, 0, 0, res)
 		return &Outcome{Policy: policy, ExecSeconds: res.Seconds, Result: res}, nil
 	}
 	switch policy {
@@ -136,6 +164,7 @@ func (s *Scheduler) Submit(q *plan.Query, submitted *plan.Node, avail cluster.Co
 		if err != nil {
 			return nil, err
 		}
+		s.record(submitted, 0, 0, res)
 		return &Outcome{Policy: policy, QueueSeconds: wait, ExecSeconds: res.Seconds, Result: res}, nil
 
 	case Degrade:
@@ -147,6 +176,7 @@ func (s *Scheduler) Submit(q *plan.Query, submitted *plan.Node, avail cluster.Co
 		if err != nil {
 			return nil, err
 		}
+		s.record(clamped, 0, 0, res)
 		return &Outcome{Policy: policy, ExecSeconds: res.Seconds, Result: res}, nil
 
 	case Reoptimize:
@@ -167,6 +197,7 @@ func (s *Scheduler) Submit(q *plan.Query, submitted *plan.Node, avail cluster.Co
 		if err != nil {
 			return nil, err
 		}
+		s.record(d.Plan, d.Time, d.Money, res)
 		return &Outcome{
 			Policy:      policy,
 			ExecSeconds: res.Seconds,

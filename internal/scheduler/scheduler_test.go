@@ -8,6 +8,7 @@ import (
 	"raqo/internal/core"
 	"raqo/internal/cost"
 	"raqo/internal/execsim"
+	"raqo/internal/feedback"
 	"raqo/internal/plan"
 	"raqo/internal/workload"
 )
@@ -164,5 +165,69 @@ func TestSubmitValidation(t *testing.T) {
 func TestPolicyString(t *testing.T) {
 	if Wait.String() != "wait" || Degrade.String() != "degrade" || Reoptimize.String() != "reoptimize" {
 		t.Error("policy names")
+	}
+}
+
+// Feedback wiring: every executed submission lands in the feedback store,
+// and the Reoptimize policy replans under the recalibrated model set.
+func TestSubmitRecordsFeedback(t *testing.T) {
+	sched, q, p := setup(t)
+	models := sched.Optimizer.Models()
+	rec := feedback.NewRecalibrator(feedback.NewStore(0, nil), feedback.NewDetector(feedback.DriftConfig{}), models)
+	sched.Feedback = &feedback.Observer{Recal: rec}
+
+	for _, policy := range []Policy{Wait, Degrade} {
+		if _, err := sched.Submit(q, p, cluster.Default(), policy); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sched.Submit(q, p, lowAvail(), policy); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sched.Submit(q, p, lowAvail(), Reoptimize); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Store().Len(); got != 5 {
+		t.Fatalf("store holds %d observations, want 5", got)
+	}
+	for _, o := range rec.Store().Snapshot() {
+		if o.Engine != sched.Engine.Name {
+			t.Errorf("observation engine = %q, want %q", o.Engine, sched.Engine.Name)
+		}
+		if o.PredictedSeconds <= 0 || o.ObservedSeconds <= 0 {
+			t.Errorf("observation missing predictions: %+v", o)
+		}
+		if len(o.Operators) == 0 {
+			t.Errorf("observation has no operator samples: %+v", o)
+		}
+	}
+}
+
+// Reoptimize consults the optimizer's live models: after a recalibration
+// swaps them, the replanned decision is priced by the new set.
+func TestReoptimizeUsesRecalibratedModels(t *testing.T) {
+	sched, q, p := setup(t)
+	flat := cost.NewModels()
+	for _, a := range plan.Algos {
+		flat.Set(a, cost.ModelFunc{ModelName: "flat-" + a.String(), Fn: func(ss, cs, nc float64) float64 { return 7 }})
+	}
+	if err := sched.Optimizer.SetModels(flat); err != nil {
+		t.Fatal(err)
+	}
+	out, err := sched.Submit(q, p, lowAvail(), Reoptimize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result == nil {
+		t.Fatal("no execution result")
+	}
+	// Under the flat model every joint plan of Q3 (two joins) is modeled at
+	// 14s; the replan must have been priced by it.
+	d, err := sched.Optimizer.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Time != 14 {
+		t.Errorf("replanned modeled time = %v, want 14 under the flat model", d.Time)
 	}
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"raqo/internal/core"
+	"raqo/internal/feedback"
 	"raqo/internal/resource"
 	"raqo/internal/telemetry"
 )
@@ -25,6 +26,10 @@ type Metrics struct {
 	Queued    *telemetry.Gauge        // raqo_http_queued
 	Rejected  *telemetry.Counter      // raqo_http_rejected_total
 	Cancelled *telemetry.Counter      // raqo_http_cancelled_total
+
+	// Feedback loop (nil under NewPlanningMetrics).
+	FeedbackError *telemetry.Histogram // raqo_feedback_rel_error
+	RecalDuration *telemetry.Histogram // raqo_recalibration_seconds
 }
 
 // NewPlanningMetrics registers the planner-work counters only.
@@ -46,6 +51,12 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 	m.Queued = reg.Gauge("raqo_http_queued", "Requests waiting in the admission queue.")
 	m.Rejected = reg.Counter("raqo_http_rejected_total", "Requests rejected with 429 by admission control.")
 	m.Cancelled = reg.Counter("raqo_http_cancelled_total", "Requests abandoned by the client before completion.")
+	m.FeedbackError = reg.Histogram("raqo_feedback_rel_error",
+		"Relative prediction error |predicted-observed|/observed of ingested feedback.",
+		[]float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10})
+	m.RecalDuration = reg.Histogram("raqo_recalibration_seconds",
+		"Wall time of one online cost-model recalibration.",
+		[]float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1})
 	return m
 }
 
@@ -75,6 +86,31 @@ func (m *Metrics) AttachCache(c *resource.Cache) {
 		func() float64 { return float64(c.Stats().Evictions) })
 	reg.GaugeFunc("raqo_resource_cache_entries", "Configurations currently cached.",
 		func() float64 { return float64(c.Stats().Entries) })
+}
+
+// AttachFeedback exports the feedback subsystem's state as func-backed
+// metrics: live model version, observation volume, recalibration count and
+// latest duration.
+func (m *Metrics) AttachFeedback(rec *feedback.Recalibrator) {
+	if rec == nil {
+		return
+	}
+	reg := m.Registry
+	reg.GaugeFunc("raqo_model_version", "Version of the live cost-model set (1 = seed, +1 per recalibration).",
+		func() float64 { return float64(rec.Current().Version) })
+	reg.CounterFunc("raqo_feedback_observations_total", "Execution observations ever accepted into the feedback store.",
+		func() float64 { return float64(rec.Store().Total()) })
+	reg.GaugeFunc("raqo_feedback_store_entries", "Observations currently held in the feedback ring.",
+		func() float64 { return float64(rec.Store().Len()) })
+	reg.CounterFunc("raqo_recalibrations_total", "Completed online cost-model recalibrations.",
+		func() float64 { return float64(rec.Recalibrations()) })
+	reg.GaugeFunc("raqo_model_drifted", "1 when the drift detector currently reports drift, else 0.",
+		func() float64 {
+			if rec.Detector().Drifted() {
+				return 1
+			}
+			return 0
+		})
 }
 
 // AttachMemo exports the operator-cost memo's counters.

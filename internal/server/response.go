@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"raqo/internal/core"
+	"raqo/internal/feedback"
 	"raqo/internal/plan"
 	"raqo/internal/resource"
 )
@@ -149,6 +150,62 @@ func NewExplainOperators(ops []core.OperatorExplain) []ExplainOperator {
 		out = append(out, e)
 	}
 	return out
+}
+
+// FeedbackRequest is the body of POST /v1/feedback: a batch of execution
+// observations. The batch is validated as a whole before any observation
+// is stored.
+type FeedbackRequest struct {
+	Observations []feedback.Observation `json:"observations"`
+}
+
+// FeedbackResponse acknowledges accepted feedback and reports the store
+// and drift state after ingestion.
+type FeedbackResponse struct {
+	Accepted int   `json:"accepted"` // observations in this request
+	Stored   int   `json:"stored"`   // observations currently in the ring
+	Total    int64 `json:"total"`    // observations ever accepted
+	Drifted  bool  `json:"drifted"`  // drift detector state after ingestion
+}
+
+// ModelResponse is the body of GET /v1/model: the live cost-model version
+// and the drift detector's per-class error stats.
+type ModelResponse struct {
+	Version         uint64                `json:"version"`
+	Models          []string              `json:"models"`    // sorted model names
+	TrainedOn       int                   `json:"trainedOn"` // samples behind this version (0 = seed)
+	Recalibrations  int64                 `json:"recalibrations"`
+	LastRecalSecs   float64               `json:"lastRecalSeconds"`
+	Drifted         bool                  `json:"drifted"`
+	DriftThreshold  float64               `json:"driftThreshold"`
+	DriftQuantile   float64               `json:"driftQuantile"`
+	ErrorStats      []feedback.ClassStats `json:"errorStats"`
+	StoredFeedback  int                   `json:"storedFeedback"`
+	TotalFeedback   int64                 `json:"totalFeedback"`
+	CacheGeneration uint64                `json:"cacheGeneration"`
+}
+
+// NewModelResponse snapshots a recalibrator for the wire.
+func NewModelResponse(rec *feedback.Recalibrator) ModelResponse {
+	info := rec.Current()
+	cfg := rec.Detector().Config()
+	resp := ModelResponse{
+		Version:        info.Version,
+		Models:         info.ModelNames(),
+		TrainedOn:      info.TrainedOn,
+		Recalibrations: rec.Recalibrations(),
+		LastRecalSecs:  rec.LastDurationSeconds(),
+		Drifted:        rec.Detector().Drifted(),
+		DriftThreshold: cfg.Threshold,
+		DriftQuantile:  cfg.Quantile,
+		ErrorStats:     rec.Detector().Stats(),
+		StoredFeedback: rec.Store().Len(),
+		TotalFeedback:  rec.Store().Total(),
+	}
+	if rec.Cache != nil {
+		resp.CacheGeneration = rec.Cache.Stats().Generation
+	}
+	return resp
 }
 
 // ErrorResponse is every non-2xx JSON body.

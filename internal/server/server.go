@@ -13,8 +13,18 @@
 //	POST /v1/optimize         one query, modes joint|fixed|budget|price
 //	POST /v1/batch            concurrent workload via core.OptimizeBatch
 //	GET  /v1/explain/{query}  plan tree + resources + cost breakdown
+//	POST /v1/feedback         execution observations into the feedback store
+//	GET  /v1/model            live cost-model version + drift/error stats
 //	GET  /healthz             liveness
 //	GET  /metrics             Prometheus text exposition (internal/telemetry)
+//
+// The server also closes the execution-feedback loop (internal/feedback):
+// observations posted to /v1/feedback accumulate in a bounded store
+// (optionally journaled to JSONL), a background goroutine watches the
+// drift detector, and on drift the cost models are retrained and swapped
+// atomically — subsequent optimize calls plan under the recalibrated,
+// versioned model set and the resource-plan cache is invalidated once per
+// swap.
 package server
 
 import (
@@ -32,6 +42,7 @@ import (
 	"raqo/internal/catalog"
 	"raqo/internal/cluster"
 	"raqo/internal/core"
+	"raqo/internal/feedback"
 	"raqo/internal/plan"
 	"raqo/internal/resource"
 	"raqo/internal/telemetry"
@@ -79,6 +90,19 @@ type Config struct {
 	RetryAfter time.Duration
 	// DrainTimeout bounds graceful shutdown; 0 selects 10s.
 	DrainTimeout time.Duration
+
+	// JournalPath, when set, opens (or appends to) a JSONL feedback
+	// journal so accumulated observations survive restarts.
+	JournalPath string
+	// FeedbackCapacity bounds the in-memory feedback ring; 0 selects
+	// feedback.DefaultStoreCapacity.
+	FeedbackCapacity int
+	// Drift tunes the drift detector (zero fields select its defaults).
+	Drift feedback.DriftConfig
+	// RecalInterval is how often the background loop checks for drift and
+	// recalibrates; 0 selects 30s, negative disables the loop (feedback
+	// still accumulates and /v1/model still reports drift).
+	RecalInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +133,9 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout == 0 {
 		c.DrainTimeout = 10 * time.Second
 	}
+	if c.RecalInterval == 0 {
+		c.RecalInterval = 30 * time.Second
+	}
 	return c
 }
 
@@ -122,6 +149,8 @@ type Server struct {
 	admit   *admission
 	mux     *http.ServeMux
 	start   time.Time
+	rec     *feedback.Recalibrator
+	journal *feedback.Journal // nil unless Config.JournalPath was set
 }
 
 // New builds a Server: schema, shared warm optimizer, metric registry and
@@ -151,6 +180,28 @@ func New(cfg Config) (*Server, error) {
 	m.AttachCache(cache)
 	m.AttachMemo(opt.Memo())
 
+	var journal *feedback.Journal
+	if cfg.JournalPath != "" {
+		journal, err = feedback.OpenJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rec := feedback.NewRecalibrator(
+		feedback.NewStore(cfg.FeedbackCapacity, journal),
+		feedback.NewDetector(cfg.Drift),
+		opt.Models(),
+	)
+	rec.Cache = cache
+	// On every swap the optimizer starts planning under the new versioned
+	// set (SetModels also resets the cost memo), and the recalibration's
+	// wall time lands in the duration histogram.
+	rec.OnSwap(func(r feedback.Recalibration, info *feedback.ModelInfo) {
+		_ = opt.SetModels(info.Models)
+		m.RecalDuration.Observe(r.Duration.Seconds())
+	})
+	m.AttachFeedback(rec)
+
 	s := &Server{
 		cfg:     cfg,
 		sch:     catalog.TPCH(cfg.SF),
@@ -159,6 +210,8 @@ func New(cfg Config) (*Server, error) {
 		metrics: m,
 		admit:   newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueTimeout, m.Queued),
 		start:   time.Now(),
+		rec:     rec,
+		journal: journal,
 	}
 	reg.GaugeFunc("raqo_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
@@ -167,6 +220,8 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/optimize", s.instrument("/v1/optimize", s.handleOptimize))
 	mux.HandleFunc("POST /v1/batch", s.instrument("/v1/batch", s.handleBatch))
 	mux.HandleFunc("GET /v1/explain/{query}", s.instrument("/v1/explain", s.handleExplain))
+	mux.HandleFunc("POST /v1/feedback", s.instrument("/v1/feedback", s.handleFeedback))
+	mux.HandleFunc("GET /v1/model", s.instrument("/v1/model", s.handleModel))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	s.mux = mux
@@ -179,6 +234,19 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // Cache returns the installed resource-plan cache, or nil when the caller
 // supplied a non-cache planner.
 func (s *Server) Cache() *resource.Cache { return s.cache }
+
+// Recalibrator returns the server's feedback recalibrator.
+func (s *Server) Recalibrator() *feedback.Recalibrator { return s.rec }
+
+// Close releases resources the server owns outside Serve — currently the
+// feedback journal. Serve closes it on return; call Close directly when
+// using the server via Handler only.
+func (s *Server) Close() error {
+	if s.journal != nil {
+		return s.journal.Close()
+	}
+	return nil
+}
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -200,6 +268,25 @@ func (s *Server) Serve(ctx context.Context, addr string, ready func(addr string)
 	if ready != nil {
 		ready(ln.Addr().String())
 	}
+
+	// Background recalibration: drift-gated, stopped (and waited for)
+	// before Serve returns so shutdown never leaks the goroutine.
+	loopCtx, stopLoop := context.WithCancel(context.Background())
+	loopDone := make(chan struct{})
+	if s.cfg.RecalInterval > 0 {
+		go func() {
+			defer close(loopDone)
+			_ = s.rec.Loop(loopCtx, s.cfg.RecalInterval, nil)
+		}()
+	} else {
+		close(loopDone)
+	}
+	defer func() {
+		stopLoop()
+		<-loopDone
+		_ = s.Close()
+	}()
+
 	hs := &http.Server{Handler: s.mux}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -471,6 +558,45 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			PlanTree:         d.Plan.String(),
 		})
 	})
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	var req FeedbackRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Observations) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("missing observations"))
+		return
+	}
+	// All-or-nothing: validate the whole batch before feeding any of it,
+	// so a client bug can't leave half a batch in the journal.
+	for i := range req.Observations {
+		if err := req.Observations[i].Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("observation %d: %w", i, err))
+			return
+		}
+	}
+	for i := range req.Observations {
+		o := req.Observations[i]
+		if err := s.rec.Feed(o); err != nil {
+			// Validation passed, so only journal I/O can fail here.
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		s.metrics.FeedbackError.Observe(o.RelError())
+	}
+	writeResult(w, FeedbackResponse{
+		Accepted: len(req.Observations),
+		Stored:   s.rec.Store().Len(),
+		Total:    s.rec.Store().Total(),
+		Drifted:  s.rec.Detector().Drifted(),
+	})
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
+	writeResult(w, NewModelResponse(s.rec))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,85 @@
+#!/bin/sh
+# Smoke test for the execution-feedback loop: start `raqo serve` with a
+# fast recalibration interval and a journal, stream a batch of drifting
+# observations to /v1/feedback, wait for /v1/model to report the retrained
+# version, drain the server, then replay the journal offline with
+# `raqo calibrate`. Exits non-zero on any failure.
+set -eu
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+out="$tmp/serve.out"
+journal="$tmp/journal.jsonl"
+# pid is set only after the server forks; guard the expansion so the trap
+# stays safe under `set -u` when the build fails before the fork.
+pid=""
+trap 'if [ -n "${pid:-}" ]; then kill "$pid" 2>/dev/null || true; fi; rm -rf "$tmp"' EXIT INT TERM
+
+"$GO" build -o "$tmp/raqo" ./cmd/raqo
+
+"$tmp/raqo" serve -addr 127.0.0.1:0 -trained=false \
+    -journal "$journal" -drift-min-samples 4 -recal-interval 200ms \
+    >"$out" 2>&1 &
+pid=$!
+
+# The ready line prints the bound address: "raqo serve: listening on HOST:PORT ...".
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^raqo serve: listening on \([^ ]*\).*/\1/p' "$out")
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "smoke-feedback: server died at startup:"; cat "$out"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "smoke-feedback: server never reported its address:"; cat "$out"; exit 1; }
+
+model=$(curl -fsS "http://$addr/v1/model")
+echo "$model" | grep -q '"version": 1' || { echo "smoke-feedback: seed model should be version 1: $model"; exit 1; }
+
+# Stream 24 observations that all run 4x slower than predicted, with
+# varied operator features so the retrain has a full-rank design matrix.
+obs=""
+i=0
+while [ "$i" -lt 24 ]; do
+    i=$((i + 1))
+    ss=$i
+    cs=$((i % 5 + 2))
+    nc=$((i % 7 + 4))
+    pred=$((i * 10))
+    o="{\"signature\":\"smoke-$i\",\"engine\":\"hive\",\"predictedSeconds\":$pred,\"observedSeconds\":$((pred * 4)),\"operators\":[{\"algo\":\"SMJ\",\"ssGB\":$ss,\"csGB\":$cs,\"nc\":$nc,\"predictedSeconds\":$pred,\"observedSeconds\":$((pred * 4))}]}"
+    obs="$obs${obs:+,}$o"
+done
+fb=$(curl -fsS -X POST "http://$addr/v1/feedback" -d "{\"observations\":[$obs]}")
+echo "$fb" | grep -q '"accepted": 24' || { echo "smoke-feedback: bad feedback response: $fb"; exit 1; }
+echo "$fb" | grep -q '"drifted": true' || { echo "smoke-feedback: drift should fire on 4x-off feedback: $fb"; exit 1; }
+
+# The background loop (200ms interval) must notice the drift, retrain and
+# swap the model: version advances past the seed and the resource-plan
+# cache generation is bumped.
+version=""
+for _ in $(seq 1 100); do
+    model=$(curl -fsS "http://$addr/v1/model")
+    version=$(echo "$model" | sed -n 's/^ *"version": \([0-9]*\).*/\1/p')
+    [ -n "$version" ] && [ "$version" -ge 2 ] && break
+    sleep 0.1
+done
+[ -n "$version" ] && [ "$version" -ge 2 ] || { echo "smoke-feedback: model never recalibrated: $model"; exit 1; }
+echo "$model" | grep -q '"fb' || { echo "smoke-feedback: no recalibrated model name: $model"; exit 1; }
+echo "$model" | grep -q '"cacheGeneration": 0' && { echo "smoke-feedback: cache generation never advanced: $model"; exit 1; }
+
+kill -TERM "$pid"
+i=0
+while kill -0 "$pid" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "smoke-feedback: server did not drain after SIGTERM"; exit 1; }
+    sleep 0.1
+done
+pid=""
+
+# The drained server flushed every accepted observation to the journal;
+# the offline replay must reach the same retrained version.
+cal=$("$tmp/raqo" calibrate -journal "$journal" -trained=false)
+echo "$cal" | grep -q '24 observations' || { echo "smoke-feedback: journal incomplete:"; echo "$cal"; exit 1; }
+echo "$cal" | grep -q 'version 2' || { echo "smoke-feedback: offline replay did not retrain:"; echo "$cal"; exit 1; }
+echo "$cal" | grep -q 'mean abs rel error' || { echo "smoke-feedback: calibrate missing error summary:"; echo "$cal"; exit 1; }
+
+echo "smoke-feedback: adaptivity OK ($addr, version $version)"
