@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json bench-serve-json bench-lint-json bench-feedback smoke smoke-feedback lint lint-fix-check
+.PHONY: check fmt vet build test race bench bench-json bench-serve-json bench-lint-json bench-feedback bench-arbiter smoke smoke-feedback smoke-arbiter lint lint-fix-check
 
-check: fmt vet build lint lint-fix-check race bench smoke smoke-feedback
+check: fmt vet build lint lint-fix-check race bench smoke smoke-feedback smoke-arbiter
 
 # Fail when any file needs gofmt.
 fmt:
@@ -56,6 +56,11 @@ bench-lint-json:
 bench-feedback:
 	RAQO_BENCH_JSON=1 $(GO) test -run TestWriteFeedbackBenchJSON .
 
+# Record the workload arbiter's per-arrival overhead and online admission
+# throughput in BENCH_arbiter.json.
+bench-arbiter:
+	RAQO_BENCH_JSON=1 $(GO) test -run TestWriteArbiterBenchJSON .
+
 # End-to-end smoke test: start `raqo serve` on an ephemeral port, hit
 # /healthz and /v1/optimize, then check the SIGTERM drain.
 smoke:
@@ -66,3 +71,8 @@ smoke:
 # replay the journal offline with `raqo calibrate`.
 smoke-feedback:
 	sh scripts/smoke_feedback.sh
+
+# End-to-end workload-arbitration smoke test: serve, submit queries under
+# the reoptimize and wait policies, verify stats/drain/metrics.
+smoke-arbiter:
+	sh scripts/smoke_arbiter.sh

@@ -1,0 +1,228 @@
+// Benchmarks for the workload arbiter: a full seeded multi-tenant replay
+// per policy (the discrete-event loop end to end) and the online
+// SubmitWait admission path. Run with:
+//
+//	go test -bench Arbiter -benchtime=0.2s .
+//
+// RAQO_BENCH_JSON=1 go test -run TestWriteArbiterBenchJSON records the
+// numbers — including per-arrival overhead and admissions/sec — in
+// BENCH_arbiter.json.
+package raqo_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"raqo/internal/arbiter"
+	"raqo/internal/catalog"
+	"raqo/internal/cluster"
+	"raqo/internal/core"
+	"raqo/internal/cost"
+	"raqo/internal/execsim"
+	"raqo/internal/plan"
+	"raqo/internal/scheduler"
+	"raqo/internal/workload"
+)
+
+var (
+	benchArbOnce    sync.Once
+	benchArbModels  *cost.Models
+	benchArbQueries map[string]*plan.Query
+	benchArbErr     error
+)
+
+func benchArbiterFixtures(tb testing.TB) (*cost.Models, map[string]*plan.Query) {
+	tb.Helper()
+	benchArbOnce.Do(func() {
+		benchArbModels, benchArbErr = workload.TrainedModels(execsim.Hive())
+		if benchArbErr != nil {
+			return
+		}
+		benchArbQueries, benchArbErr = workload.TPCHQueries(catalog.TPCH(100))
+	})
+	if benchArbErr != nil {
+		tb.Fatal(benchArbErr)
+	}
+	return benchArbModels, benchArbQueries
+}
+
+func newBenchArbiter(tb testing.TB) *arbiter.Arbiter {
+	tb.Helper()
+	models, queries := benchArbiterFixtures(tb)
+	engine := execsim.Hive()
+	opt, err := core.New(cluster.Default(), core.Options{
+		Models:       models,
+		Engine:       &engine,
+		MemoizeCosts: true,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	a, err := arbiter.New(arbiter.Config{
+		Capacity:  100,
+		Base:      cluster.Default(),
+		Engine:    execsim.Hive(),
+		Pricing:   cost.DefaultPricing(),
+		Optimizer: opt,
+		Queries:   queries,
+		Tenants: []arbiter.TenantConfig{
+			{Name: "etl", Weight: 2},
+			{Name: "bi", Weight: 1},
+			{Name: "adhoc", Weight: 1},
+		},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return a
+}
+
+// benchArrivals is the seeded 36-query bursty stream the arbiter tests
+// replay; every iteration re-runs the identical workload.
+func benchArrivals(tb testing.TB, policy scheduler.Policy) []arbiter.Arrival {
+	tb.Helper()
+	arrivals, err := arbiter.GenerateArrivals(arbiter.WorkloadConfig{
+		Seed:                42,
+		Arrivals:            36,
+		MeanIntervalSeconds: 30,
+		BurstSize:           6,
+		Tenants: []arbiter.TenantShare{
+			{Name: "etl", Weight: 2}, {Name: "bi", Weight: 1}, {Name: "adhoc", Weight: 1},
+		},
+		Mix: []arbiter.QueryMix{
+			{Name: workload.Q12, Weight: 4},
+			{Name: workload.Q3, Weight: 3},
+			{Name: workload.Q2, Weight: 2},
+			{Name: workload.All, Weight: 1},
+		},
+		Policy: policy,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return arrivals
+}
+
+// BenchmarkArbiterWorkload replays the whole seeded stream through a
+// fresh arbiter per iteration — arrival sorting, fair-share admission,
+// re-optimization, pool bookkeeping and outcome recording end to end.
+func BenchmarkArbiterWorkload(b *testing.B) {
+	for _, policy := range []scheduler.Policy{scheduler.Wait, scheduler.Reoptimize} {
+		b.Run(policy.String(), func(b *testing.B) {
+			arrivals := benchArrivals(b, policy)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				a := newBenchArbiter(b)
+				b.StartTimer()
+				if _, err := a.Run(arrivals); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkArbiterSubmitWait measures the online admission path: one
+// SubmitWait round-trip on a warm arbiter (submission plans cached), the
+// cost POST /v1/submit pays per request on top of HTTP.
+func BenchmarkArbiterSubmitWait(b *testing.B) {
+	a := newBenchArbiter(b)
+	names := []string{workload.Q12, workload.Q3, workload.Q2}
+	tenants := []string{"etl", "bi", "adhoc"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := a.SubmitWait(tenants[i%len(tenants)], names[i%len(names)], scheduler.Reoptimize)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestWriteArbiterBenchJSON records the arbiter benchmarks in
+// BENCH_arbiter.json. Gated behind RAQO_BENCH_JSON=1 because it runs the
+// suite via testing.Benchmark.
+func TestWriteArbiterBenchJSON(t *testing.T) {
+	if os.Getenv("RAQO_BENCH_JSON") == "" {
+		t.Skip("set RAQO_BENCH_JSON=1 to record BENCH_arbiter.json")
+	}
+	type entry struct {
+		Name             string  `json:"name"`
+		NsPerOp          float64 `json:"ns_per_op"`
+		OpsPerSec        float64 `json:"ops_per_sec"`
+		NsPerArrival     float64 `json:"ns_per_arrival,omitempty"`
+		AdmissionsPerSec float64 `json:"admissions_per_sec,omitempty"`
+		AllocsPerOp      int64   `json:"allocs_per_op"`
+	}
+	var entries []entry
+	record := func(name string, arrivalsPerOp int, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		e := entry{
+			Name:        name,
+			NsPerOp:     ns,
+			OpsPerSec:   1e9 / ns,
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if arrivalsPerOp > 0 {
+			e.NsPerArrival = ns / float64(arrivalsPerOp)
+			e.AdmissionsPerSec = 1e9 / e.NsPerArrival
+		}
+		entries = append(entries, e)
+	}
+	for _, policy := range []scheduler.Policy{scheduler.Wait, scheduler.Reoptimize} {
+		arrivals := benchArrivals(t, policy)
+		record("ArbiterWorkload/"+policy.String(), len(arrivals), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				a := newBenchArbiter(b)
+				b.StartTimer()
+				if _, err := a.Run(arrivals); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	record("ArbiterSubmitWait/reoptimize", 1, func(b *testing.B) {
+		a := newBenchArbiter(b)
+		names := []string{workload.Q12, workload.Q3, workload.Q2}
+		tenants := []string{"etl", "bi", "adhoc"}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, err := a.SubmitWait(tenants[i%len(tenants)], names[i%len(names)], scheduler.Reoptimize)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	report := struct {
+		GoMaxProcs int     `json:"gomaxprocs"`
+		NumCPU     int     `json:"num_cpu"`
+		Note       string  `json:"note"`
+		Benchmarks []entry `json:"benchmarks"`
+	}{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Note: "ArbiterWorkload replays the seeded 36-query multi-tenant stream end to end " +
+			"(per-arrival = full discrete-event overhead incl. admission, re-optimization " +
+			"and pool bookkeeping); ArbiterSubmitWait is the warm online admission path " +
+			"behind POST /v1/submit.",
+		Benchmarks: entries,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_arbiter.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_arbiter.json with %d benchmarks", len(entries))
+}

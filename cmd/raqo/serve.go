@@ -4,6 +4,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -14,6 +17,19 @@ import (
 	"raqo/internal/server"
 )
 
+// pprofHandler builds the standard net/http/pprof mux explicitly — the
+// service mux never sees these routes, so profiling only exists on the
+// dedicated -pprof listener.
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // serveSettings is the parsed form of `raqo serve`'s flags: the server
 // configuration plus the listen address and the planner/scale labels the
 // ready line prints. Kept separate from serveCmd so the flag→Config
@@ -22,7 +38,11 @@ type serveSettings struct {
 	addr    string
 	planner string
 	sf      float64
-	cfg     server.Config
+	// pprofAddr, when non-empty, serves net/http/pprof on its own
+	// listener, kept off the service mux so profiling is never exposed on
+	// the API port.
+	pprofAddr string
+	cfg       server.Config
 }
 
 // parseServeFlags maps the serve flag set onto a server.Config. Admission
@@ -46,6 +66,8 @@ func parseServeFlags(args []string) (*serveSettings, error) {
 	driftWindow := fs.Int("drift-window", 0, "per-class error window size (0 = default)")
 	driftMinSamples := fs.Int("drift-min-samples", 0, "min windowed samples before a class can drift (0 = default)")
 	recalInterval := fs.Duration("recal-interval", 0, "background recalibration check interval (0 = 30s, negative disables)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this separate address (empty = disabled)")
+	arbCapacity := fs.Int("arbiter-capacity", 0, "container count of the workload arbiter's simulated pool (0 = 100)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -68,9 +90,10 @@ func parseServeFlags(args []string) (*serveSettings, error) {
 	}
 
 	return &serveSettings{
-		addr:    *addr,
-		planner: *plannerName,
-		sf:      *sf,
+		addr:      *addr,
+		planner:   *plannerName,
+		sf:        *sf,
+		pprofAddr: *pprofAddr,
 		cfg: server.Config{
 			SF:               *sf,
 			Options:          opts,
@@ -87,7 +110,8 @@ func parseServeFlags(args []string) (*serveSettings, error) {
 				Window:     *driftWindow,
 				MinSamples: *driftMinSamples,
 			},
-			RecalInterval: *recalInterval,
+			RecalInterval:   *recalInterval,
+			ArbiterCapacity: *arbCapacity,
 		},
 	}, nil
 }
@@ -109,6 +133,16 @@ func serveCmd(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if st.pprofAddr != "" {
+		pl, err := net.Listen("tcp", st.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		fmt.Printf("raqo serve: pprof on %s\n", pl.Addr())
+		ps := &http.Server{Handler: pprofHandler()}
+		go func() { _ = ps.Serve(pl) }()
+		defer ps.Close()
+	}
 	return s.Serve(ctx, st.addr, func(bound string) {
 		fmt.Printf("raqo serve: listening on %s (planner %s, sf %g)\n", bound, st.planner, st.sf)
 	})

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -127,5 +128,40 @@ func TestCalibrateCmdReducesError(t *testing.T) {
 func TestCalibrateCmdRequiresJournal(t *testing.T) {
 	if err := calibrateCmd(nil); err == nil {
 		t.Fatal("calibrate without -journal succeeded")
+	}
+}
+
+// TestParseServeFlagsArbiterAndPprof maps the workload-arbiter and
+// profiling flags; both default off/zero so plain `raqo serve` is
+// unchanged.
+func TestParseServeFlagsArbiterAndPprof(t *testing.T) {
+	st, err := parseServeFlags([]string{"-trained=false"})
+	if err != nil {
+		t.Fatalf("parseServeFlags: %v", err)
+	}
+	if st.pprofAddr != "" {
+		t.Errorf("pprof should default off, got %q", st.pprofAddr)
+	}
+	if st.cfg.ArbiterCapacity != 0 {
+		t.Errorf("ArbiterCapacity default = %d, want 0 (server selects 100)", st.cfg.ArbiterCapacity)
+	}
+	st, err = parseServeFlags([]string{
+		"-pprof", "127.0.0.1:6060", "-arbiter-capacity", "40", "-trained=false",
+	})
+	if err != nil {
+		t.Fatalf("parseServeFlags: %v", err)
+	}
+	if st.pprofAddr != "127.0.0.1:6060" {
+		t.Errorf("pprofAddr = %q", st.pprofAddr)
+	}
+	if st.cfg.ArbiterCapacity != 40 {
+		t.Errorf("ArbiterCapacity = %d, want 40", st.cfg.ArbiterCapacity)
+	}
+	// The pprof handler serves the index without touching the API mux.
+	req := httptest.NewRequest("GET", "/debug/pprof/", nil)
+	rw := httptest.NewRecorder()
+	pprofHandler().ServeHTTP(rw, req)
+	if rw.Code != 200 {
+		t.Errorf("pprof index status = %d", rw.Code)
 	}
 }

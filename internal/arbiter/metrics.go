@@ -1,0 +1,50 @@
+package arbiter
+
+import (
+	"raqo/internal/scheduler"
+	"raqo/internal/telemetry"
+)
+
+// Metrics holds the arbiter's telemetry instruments.
+type Metrics struct {
+	// Admissions counts admitted queries per policy.
+	Admissions *telemetry.CounterVec
+	// Rejections counts backpressure rejections.
+	Rejections *telemetry.Counter
+	// QueueWait observes virtual queue seconds per admission.
+	QueueWait *telemetry.Histogram
+	// Occupancy gauges the containers currently held in the pool.
+	Occupancy *telemetry.Gauge
+}
+
+// queueWaitBuckets spans virtual queue times from instant admission to a
+// pathological hour-long wait.
+var queueWaitBuckets = []float64{1, 5, 15, 60, 300, 900, 3600}
+
+// NewMetrics registers the arbiter's metric families in a registry.
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	return &Metrics{
+		Admissions: r.CounterVec("raqo_arbiter_admissions_total",
+			"Queries admitted onto the shared pool, by scheduling policy.", "policy"),
+		Rejections: r.Counter("raqo_arbiter_rejections_total",
+			"Submissions rejected by backpressure (full queue or infeasible request)."),
+		QueueWait: r.Histogram("raqo_arbiter_queue_wait_virtual_seconds",
+			"Virtual seconds queries spent queued before admission.", queueWaitBuckets),
+		Occupancy: r.Gauge("raqo_arbiter_pool_containers_in_use",
+			"Containers of the shared pool currently held by running queries."),
+	}
+}
+
+// policyLabel maps a policy to a bounded metric label (the raqolint
+// telemetry rule requires constant label cardinality).
+func policyLabel(p scheduler.Policy) string {
+	switch p {
+	case scheduler.Wait:
+		return "wait"
+	case scheduler.Degrade:
+		return "degrade"
+	case scheduler.Reoptimize:
+		return "reoptimize"
+	}
+	return "unknown"
+}

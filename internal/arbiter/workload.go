@@ -1,0 +1,116 @@
+package arbiter
+
+import (
+	"fmt"
+	"math/rand"
+
+	"raqo/internal/scheduler"
+)
+
+// QueryMix weights one query name in a synthetic workload.
+type QueryMix struct {
+	Name   string
+	Weight float64
+}
+
+// TenantShare weights one tenant in a synthetic workload.
+type TenantShare struct {
+	Name   string
+	Weight float64
+}
+
+// WorkloadConfig parameterizes a deterministic seeded arrival stream:
+// Poisson arrivals (optionally in bursty waves, like the Figure 1 trace)
+// spread across tenants and a query mix, all submitted under one policy
+// so policy runs compare on an identical stream.
+type WorkloadConfig struct {
+	Seed     int64
+	Arrivals int
+	// MeanIntervalSeconds is the mean inter-arrival time.
+	MeanIntervalSeconds float64
+	// BurstSize > 0 groups arrivals into tightly spaced waves of ~this
+	// size, with the waves Poisson at BurstSize*MeanIntervalSeconds —
+	// scheduled pipelines firing together, the regime where queue time
+	// dominates.
+	BurstSize int
+	Tenants   []TenantShare
+	Mix       []QueryMix
+	Policy    scheduler.Policy
+}
+
+// GenerateArrivals draws the arrival stream. The same config always
+// yields the same stream; streams differing only in Policy are identical
+// except for the policy field.
+func GenerateArrivals(cfg WorkloadConfig) ([]Arrival, error) {
+	if cfg.Arrivals < 1 {
+		return nil, fmt.Errorf("arbiter: workload needs at least one arrival")
+	}
+	if cfg.MeanIntervalSeconds <= 0 {
+		return nil, fmt.Errorf("arbiter: mean interval %g <= 0", cfg.MeanIntervalSeconds)
+	}
+	if len(cfg.Tenants) == 0 || len(cfg.Mix) == 0 {
+		return nil, fmt.Errorf("arbiter: workload needs tenants and a query mix")
+	}
+	tenantTotal := 0.0
+	for _, t := range cfg.Tenants {
+		if t.Weight < 0 {
+			return nil, fmt.Errorf("arbiter: negative weight for tenant %s", t.Name)
+		}
+		tenantTotal += t.Weight
+	}
+	mixTotal := 0.0
+	for _, m := range cfg.Mix {
+		if m.Weight < 0 {
+			return nil, fmt.Errorf("arbiter: negative weight for query %s", m.Name)
+		}
+		mixTotal += m.Weight
+	}
+	if tenantTotal <= 0 || mixTotal <= 0 {
+		return nil, fmt.Errorf("arbiter: workload weights sum to zero")
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pickTenant := func() string {
+		x := rng.Float64() * tenantTotal
+		for _, t := range cfg.Tenants {
+			x -= t.Weight
+			if x < 0 {
+				return t.Name
+			}
+		}
+		return cfg.Tenants[len(cfg.Tenants)-1].Name
+	}
+	pickQuery := func() string {
+		x := rng.Float64() * mixTotal
+		for _, m := range cfg.Mix {
+			x -= m.Weight
+			if x < 0 {
+				return m.Name
+			}
+		}
+		return cfg.Mix[len(cfg.Mix)-1].Name
+	}
+
+	out := make([]Arrival, cfg.Arrivals)
+	now := 0.0
+	inBurst := 0
+	for i := range out {
+		if cfg.BurstSize > 0 {
+			if inBurst == 0 {
+				now += rng.ExpFloat64() * cfg.MeanIntervalSeconds * float64(cfg.BurstSize)
+				inBurst = cfg.BurstSize
+			}
+			now += rng.ExpFloat64() // tight spacing within the wave
+			inBurst--
+		} else {
+			now += rng.ExpFloat64() * cfg.MeanIntervalSeconds
+		}
+		out[i] = Arrival{
+			Tenant: pickTenant(),
+			Query:  pickQuery(),
+			Time:   now,
+			Policy: cfg.Policy,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPoolAllocateRelease(t *testing.T) {
+	p, err := NewPool(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Capacity() != 10 || p.Free() != 10 || p.InUse() != 0 || p.Running() != 0 {
+		t.Fatalf("fresh pool state: free=%d inuse=%d running=%d", p.Free(), p.InUse(), p.Running())
+	}
+	if _, ok := p.NextFinish(); ok {
+		t.Fatal("idle pool reports a next finish")
+	}
+
+	tok1, err := p.Allocate(4, 8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok2, err := p.Allocate(6, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok1 == tok2 {
+		t.Fatal("allocation tokens must be distinct")
+	}
+	if p.Free() != 0 || p.InUse() != 10 || p.Running() != 2 {
+		t.Fatalf("after allocations: free=%d inuse=%d running=%d", p.Free(), p.InUse(), p.Running())
+	}
+	if got, want := p.HeldGB(), 4*8.0+6*2.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("held GB %g, want %g", got, want)
+	}
+	if f, ok := p.NextFinish(); !ok || f != 5 {
+		t.Fatalf("next finish %g ok=%v, want 5", f, ok)
+	}
+
+	rel := p.Advance(7)
+	if len(rel) != 1 || rel[0].Token != tok2 || rel[0].Containers != 6 || rel[0].Finish != 5 {
+		t.Fatalf("advance(7) releases %+v", rel)
+	}
+	if p.Now() != 7 || p.Free() != 6 {
+		t.Fatalf("after advance: now=%g free=%d", p.Now(), p.Free())
+	}
+
+	// Advancing backwards is a no-op on the clock.
+	if p.Advance(3); p.Now() != 7 {
+		t.Fatalf("clock moved backwards to %g", p.Now())
+	}
+
+	rel = p.Advance(10) // inclusive release at finish == t
+	if len(rel) != 1 || rel[0].Token != tok1 {
+		t.Fatalf("advance(10) releases %+v", rel)
+	}
+	if p.Free() != 10 || p.Running() != 0 || p.HeldGB() != 0 {
+		t.Fatalf("drained pool: free=%d running=%d heldGB=%g", p.Free(), p.Running(), p.HeldGB())
+	}
+}
+
+func TestPoolAllocateErrors(t *testing.T) {
+	if _, err := NewPool(0); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	p, _ := NewPool(4)
+	if _, err := p.Allocate(0, 1, 1); err == nil {
+		t.Fatal("zero-container gang accepted")
+	}
+	if _, err := p.Allocate(5, 1, 1); err == nil {
+		t.Fatal("gang larger than free accepted")
+	}
+	if _, err := p.Allocate(1, -1, 1); err == nil {
+		t.Fatal("negative GB accepted")
+	}
+	p.Advance(10)
+	if _, err := p.Allocate(1, 1, 9); err == nil {
+		t.Fatal("finish before now accepted")
+	}
+	// Exactly-now finish and exactly-free gang are both legal boundaries.
+	if _, err := p.Allocate(4, 1, 10); err != nil {
+		t.Fatalf("boundary allocation rejected: %v", err)
+	}
+}
+
+func TestPoolTiedFinishReleaseOrder(t *testing.T) {
+	p, _ := NewPool(10)
+	var toks []int64
+	for i := 0; i < 5; i++ {
+		tok, err := p.Allocate(1, 1, 3) // all finish at the same instant
+		if err != nil {
+			t.Fatal(err)
+		}
+		toks = append(toks, tok)
+	}
+	rel := p.Advance(3)
+	if len(rel) != 5 {
+		t.Fatalf("released %d, want 5", len(rel))
+	}
+	for i, r := range rel {
+		if r.Token != toks[i] {
+			t.Fatalf("tied finishes released out of allocation order: %v", rel)
+		}
+	}
+}
+
+func TestPoolConditions(t *testing.T) {
+	base := Default() // containers [1..100], sizes [1..10]GB
+	p, _ := NewPool(100)
+
+	cond, ok := p.Conditions(base)
+	if !ok || cond != base {
+		t.Fatalf("idle pool conditions %+v ok=%v, want base", cond, ok)
+	}
+
+	if _, err := p.Allocate(60, 10, 50); err != nil {
+		t.Fatal(err)
+	}
+	cond, ok = p.Conditions(base)
+	if !ok || cond.MaxContainers != 40 || cond.MinContainers != base.MinContainers {
+		t.Fatalf("occupied pool conditions %+v ok=%v", cond, ok)
+	}
+	if cond.MaxContainerGB != base.MaxContainerGB {
+		t.Fatalf("memory axis must be untouched: %+v", cond)
+	}
+
+	// Drop below the base minimum: no admissible resource point remains.
+	if _, err := p.Allocate(40, 10, 50); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Conditions(base); ok {
+		t.Fatalf("free=%d below min %d should yield no conditions", p.Free(), base.MinContainers)
+	}
+
+	// ConditionsAt advances first: at t=50 everything has finished.
+	cond, ok = p.ConditionsAt(50, base)
+	if !ok || cond != base {
+		t.Fatalf("post-finish conditions %+v ok=%v, want base", cond, ok)
+	}
+}
+
+func TestSimulatorConditionsAt(t *testing.T) {
+	s := &Simulator{Capacity: 10}
+	base := Conditions{
+		MinContainers: 1, MaxContainers: 10, ContainerStep: 1,
+		MinContainerGB: 1, MaxContainerGB: 4, GBStep: 1,
+	}
+	jobs := []Job{
+		{ID: 0, Arrival: 0, Containers: 6, Duration: 10},
+		{ID: 1, Arrival: 2, Containers: 6, Duration: 10}, // queues until t=10
+		{ID: 2, Arrival: 3, Containers: 3, Duration: 4},  // blocked behind job 1 (FIFO)
+	}
+
+	// Before any arrival: fully free.
+	cond, ok, err := s.ConditionsAt(jobs, -1, base)
+	if err != nil || !ok || cond.MaxContainers != 10 {
+		t.Fatalf("pre-trace: %+v ok=%v err=%v", cond, ok, err)
+	}
+	// Mid-trace: job 0 holds 6, jobs 1 and 2 queued.
+	cond, ok, err = s.ConditionsAt(jobs, 5, base)
+	if err != nil || !ok || cond.MaxContainers != 4 {
+		t.Fatalf("mid-trace: %+v ok=%v err=%v", cond, ok, err)
+	}
+	// At t=10 job 0 finishes and job 1 (then 2) admit: 6+3 held.
+	cond, ok, err = s.ConditionsAt(jobs, 10, base)
+	if err != nil || !ok || cond.MaxContainers != 1 {
+		t.Fatalf("at first finish: %+v ok=%v err=%v", cond, ok, err)
+	}
+	// Past the whole trace: free again.
+	cond, ok, err = s.ConditionsAt(jobs, 1e6, base)
+	if err != nil || !ok || cond != base {
+		t.Fatalf("post-trace: %+v ok=%v err=%v", cond, ok, err)
+	}
+
+	// ok=false when free drops under the base minimum.
+	tight := base
+	tight.MinContainers = 5
+	if _, ok, err := s.ConditionsAt(jobs, 5, tight); err != nil || ok {
+		t.Fatalf("free=4 under min=5 should not be ok (err=%v)", err)
+	}
+
+	// Validation errors propagate.
+	bad := []Job{{ID: 0, Arrival: 0, Containers: 99, Duration: 1}}
+	if _, _, err := s.ConditionsAt(bad, 0, base); err == nil {
+		t.Fatal("oversized job accepted")
+	}
+}
+
+// TestRunMatchesConditionsAtOccupancy cross-checks the two views of the one
+// occupancy model: at every job start/finish boundary, summing the gangs
+// Run reports as held must equal what ConditionsAt says is not free.
+func TestRunMatchesConditionsAtOccupancy(t *testing.T) {
+	s := &Simulator{Capacity: 50}
+	rng := rand.New(rand.NewSource(7))
+	cfg := TraceConfig{Jobs: 200, Capacity: 50, MeanInterval: 2, MeanDuration: 20, SigmaDuration: 0.8, MaxGang: 20}
+	jobs, err := GenerateTrace(rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := s.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Conditions{
+		MinContainers: 1, MaxContainers: 50, ContainerStep: 1,
+		MinContainerGB: 1, MaxContainerGB: 4, GBStep: 1,
+	}
+	for _, probe := range []float64{results[20].Start, results[100].Finish, results[150].Start + 0.5} {
+		held := 0
+		for _, r := range results {
+			if r.Start <= probe && probe < r.Finish {
+				held += r.Containers
+			}
+		}
+		cond, ok, err := s.ConditionsAt(jobs, probe, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		free := s.Capacity - held
+		if !ok {
+			if free >= base.MinContainers {
+				t.Fatalf("t=%g: ok=false with %d free", probe, free)
+			}
+			continue
+		}
+		want := free
+		if want > base.MaxContainers {
+			want = base.MaxContainers
+		}
+		if cond.MaxContainers != want {
+			t.Fatalf("t=%g: ConditionsAt says %d free, Run says %d", probe, cond.MaxContainers, want)
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
@@ -41,56 +40,69 @@ type Simulator struct {
 	Capacity int // total containers in the cluster
 }
 
-type finishEvent struct {
-	time       float64
-	containers int
-}
-
-type finishHeap []finishEvent
-
-func (h finishHeap) Len() int            { return len(h) }
-func (h finishHeap) Less(i, j int) bool  { return h[i].time < h[j].time }
-func (h finishHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *finishHeap) Push(x interface{}) { *h = append(*h, x.(finishEvent)) }
-func (h *finishHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
 // Run simulates the trace and returns per-job results in arrival order.
 // Jobs demanding more containers than the cluster has are rejected with an
 // error, since they would wait forever.
 func (s *Simulator) Run(jobs []Job) ([]JobResult, error) {
+	results, _, err := s.run(jobs, math.Inf(1))
+	return results, err
+}
+
+// ConditionsAt replays the trace up to virtual time t and derives the
+// cluster conditions the pool could offer then: base with the container
+// axis capped at the free count. ok is false when fewer than
+// base.MinContainers containers are free at t — the arbiter's "nothing
+// can be admitted right now" signal. This is the same occupancy model
+// Run uses, so the Fig-1 simulator and the workload arbiter agree on
+// what "free at time t" means.
+func (s *Simulator) ConditionsAt(jobs []Job, t float64, base Conditions) (Conditions, bool, error) {
+	_, pool, err := s.run(jobs, t)
+	if err != nil {
+		return Conditions{}, false, err
+	}
+	cond, ok := pool.ConditionsAt(t, base)
+	return cond, ok, nil
+}
+
+// run replays the trace's discrete events (arrivals and gang finishes) in
+// virtual-time order on a Pool, stopping after the last event at or
+// before stopAt. Admission is strict FIFO: the queue head waits until its
+// full gang is free, and nothing behind it may overtake (YARN capacity-
+// scheduler behaviour at the granularity Figure 1 needs). At a tied
+// timestamp, finishing gangs release before arrivals are considered;
+// because admission is a greedy prefix under monotonically growing free
+// capacity, this yields the same results as interleaving them.
+func (s *Simulator) run(jobs []Job, stopAt float64) ([]JobResult, *Pool, error) {
 	if s.Capacity < 1 {
-		return nil, fmt.Errorf("cluster: simulator capacity %d < 1", s.Capacity)
+		return nil, nil, fmt.Errorf("cluster: simulator capacity %d < 1", s.Capacity)
 	}
 	ordered := append([]Job(nil), jobs...)
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
 	for _, j := range ordered {
 		if j.Containers < 1 || j.Containers > s.Capacity {
-			return nil, fmt.Errorf("cluster: job %d demands %d containers, capacity %d", j.ID, j.Containers, s.Capacity)
+			return nil, nil, fmt.Errorf("cluster: job %d demands %d containers, capacity %d", j.ID, j.Containers, s.Capacity)
 		}
 		if j.Duration <= 0 {
-			return nil, fmt.Errorf("cluster: job %d has non-positive duration", j.ID)
+			return nil, nil, fmt.Errorf("cluster: job %d has non-positive duration", j.ID)
 		}
 	}
 
-	free := s.Capacity
-	var running finishHeap
+	pool, err := NewPool(s.Capacity)
+	if err != nil {
+		return nil, nil, err
+	}
 	results := make([]JobResult, 0, len(ordered))
 	queue := make([]Job, 0)
 	next := 0
-	now := 0.0
 
-	admit := func() {
-		for len(queue) > 0 && queue[0].Containers <= free {
+	admit := func() error {
+		for len(queue) > 0 && queue[0].Containers <= pool.Free() {
 			j := queue[0]
 			queue = queue[1:]
-			free -= j.Containers
-			heap.Push(&running, finishEvent{time: now + j.Duration, containers: j.Containers})
+			now := pool.Now()
+			if _, err := pool.Allocate(j.Containers, 0, now+j.Duration); err != nil {
+				return err
+			}
 			results = append(results, JobResult{
 				Job:       j,
 				Start:     now,
@@ -98,36 +110,41 @@ func (s *Simulator) Run(jobs []Job) ([]JobResult, error) {
 				QueueTime: now - j.Arrival,
 			})
 		}
+		return nil
 	}
 
 	for next < len(ordered) || len(queue) > 0 {
 		// Decide the next event time: the next arrival or the next finish.
-		var arrivalT = -1.0
+		arrivalT := -1.0
 		if next < len(ordered) {
 			arrivalT = ordered[next].Arrival
 		}
-		var finishT = -1.0
-		if running.Len() > 0 {
-			finishT = running[0].time
-		}
+		finishT, hasFinish := pool.NextFinish()
+		var te float64
 		switch {
-		case arrivalT >= 0 && (finishT < 0 || arrivalT <= finishT):
-			now = arrivalT
-			queue = append(queue, ordered[next])
-			next++
-		case finishT >= 0:
-			now = finishT
-			ev := heap.Pop(&running).(finishEvent)
-			free += ev.containers
+		case arrivalT >= 0 && (!hasFinish || arrivalT <= finishT):
+			te = arrivalT
+		case hasFinish:
+			te = finishT
 		default:
 			// Queue non-empty but nothing running and no arrivals: cannot
 			// happen because any queued head fits capacity when idle.
-			return nil, fmt.Errorf("cluster: simulator deadlock with %d queued jobs", len(queue))
+			return nil, nil, fmt.Errorf("cluster: simulator deadlock with %d queued jobs", len(queue))
 		}
-		admit()
+		if te > stopAt {
+			break
+		}
+		pool.Advance(te)
+		for next < len(ordered) && ordered[next].Arrival <= te {
+			queue = append(queue, ordered[next])
+			next++
+		}
+		if err := admit(); err != nil {
+			return nil, nil, err
+		}
 	}
 	sort.SliceStable(results, func(i, j int) bool { return results[i].Arrival < results[j].Arrival })
-	return results, nil
+	return results, pool, nil
 }
 
 // TraceConfig parameterizes the synthetic shared-cluster trace standing in

@@ -5,9 +5,10 @@ import (
 )
 
 // clockScopes are the discrete-event simulator packages: Figures 1-4 are
-// virtual-time experiments, so any wall-clock read here silently couples
-// simulated results to host speed.
-var clockScopes = []string{"internal/cluster", "internal/execsim", "internal/scheduler"}
+// virtual-time experiments and the workload arbiter promises bit-identical
+// replays, so any wall-clock read here silently couples simulated results
+// to host speed.
+var clockScopes = []string{"internal/cluster", "internal/execsim", "internal/scheduler", "internal/arbiter"}
 
 // wallClockFuncs are the time-package calls that read or wait on the wall
 // clock. time.Duration and time.Time as plain types remain fine.

@@ -1,0 +1,22 @@
+// Package arbclock exercises the clock analyzer inside the workload
+// arbiter's scope (internal/arbiter): the arbiter promises bit-identical
+// replays on its virtual clock, so wall-clock reads must be flagged.
+package arbclock
+
+import "time"
+
+// AdmitStamp reads the wall clock inside the arbiter scope.
+func AdmitStamp() time.Time {
+	return time.Now() // want `\[clock\] time.Now reads the wall clock`
+}
+
+// Backoff blocks on host time inside the arbiter scope.
+func Backoff(d time.Duration) {
+	time.Sleep(d) // want `\[clock\] time.Sleep reads the wall clock`
+}
+
+// QueueDelta only manipulates time values — virtual seconds travel as
+// plain types, which is not a wall-clock read.
+func QueueDelta(arrival, start time.Time) time.Duration {
+	return start.Sub(arrival)
+}

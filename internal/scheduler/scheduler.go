@@ -48,6 +48,19 @@ func (p Policy) String() string {
 	return fmt.Sprintf("Policy(%d)", int(p))
 }
 
+// ParsePolicy parses a policy name as rendered by String.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "wait":
+		return Wait, nil
+	case "degrade":
+		return Degrade, nil
+	case "reoptimize":
+		return Reoptimize, nil
+	}
+	return 0, fmt.Errorf("scheduler: unknown policy %q", s)
+}
+
 // Outcome reports how one job fared through the scheduler.
 type Outcome struct {
 	Policy Policy
@@ -104,8 +117,9 @@ func (s *Scheduler) record(root *plan.Node, predictedSeconds float64, predictedM
 	_, _ = s.Feedback.Record(s.Engine.Name, root, predictedSeconds, predictedMoney, res)
 }
 
-// maxRequested returns the largest per-stage request of a plan.
-func maxRequested(p *plan.Node) plan.Resources {
+// MaxRequested returns the largest per-stage request of a plan — the gang
+// size a FIFO cluster must free before the plan can start.
+func MaxRequested(p *plan.Node) plan.Resources {
 	var max plan.Resources
 	for _, j := range p.Joins() {
 		if j.Res.Containers > max.Containers {
@@ -118,9 +132,10 @@ func maxRequested(p *plan.Node) plan.Resources {
 	return max
 }
 
-// fits reports whether every stage's request is satisfiable under the
-// available conditions.
-func fits(p *plan.Node, avail cluster.Conditions) bool {
+// Fits reports whether every stage's request is satisfiable under the
+// available conditions. Exported so the workload arbiter applies the same
+// admission predicate the one-shot scheduler does.
+func Fits(p *plan.Node, avail cluster.Conditions) bool {
 	for _, j := range p.Joins() {
 		if j.Res.Containers > avail.MaxContainers || j.Res.ContainerGB > avail.MaxContainerGB+1e-9 {
 			return false
@@ -139,7 +154,7 @@ func (s *Scheduler) Submit(q *plan.Query, submitted *plan.Node, avail cluster.Co
 	if err := avail.Validate(); err != nil {
 		return nil, fmt.Errorf("scheduler: available conditions: %w", err)
 	}
-	if fits(submitted, avail) {
+	if Fits(submitted, avail) {
 		res, err := s.Engine.Execute(submitted, s.Pricing)
 		if err != nil {
 			return nil, err
@@ -150,7 +165,7 @@ func (s *Scheduler) Submit(q *plan.Query, submitted *plan.Node, avail cluster.Co
 	switch policy {
 	case Wait:
 		// The job waits for the missing containers to drain free.
-		req := maxRequested(submitted)
+		req := MaxRequested(submitted)
 		missing := req.Containers - avail.MaxContainers
 		if missing < 0 {
 			missing = 0

@@ -231,3 +231,89 @@ func TestReoptimizeUsesRecalibratedModels(t *testing.T) {
 		t.Errorf("replanned modeled time = %v, want 14 under the flat model", d.Time)
 	}
 }
+
+// TestFitsBoundaries pins the admission predicate at its edges: a request
+// exactly equal to the offer fits (including the 1e-9 float tolerance on
+// the GB axis), and zero-container conditions admit nothing.
+func TestFitsBoundaries(t *testing.T) {
+	_, _, p := setup(t)
+	req := MaxRequested(p)
+	if req.Containers < 1 || req.ContainerGB <= 0 {
+		t.Fatalf("implausible optimum request: %+v", req)
+	}
+	exact := cluster.Conditions{
+		MinContainers: 1, MaxContainers: req.Containers, ContainerStep: 1,
+		MinContainerGB: 1, MaxContainerGB: req.ContainerGB, GBStep: 1,
+	}
+	if !Fits(p, exact) {
+		t.Error("exact-equal offer should fit")
+	}
+	within := exact
+	within.MaxContainerGB = req.ContainerGB - 1e-10 // inside the float tolerance
+	if !Fits(p, within) {
+		t.Error("offer within the 1e-9 GB tolerance should fit")
+	}
+	short := exact
+	short.MaxContainers = req.Containers - 1
+	if Fits(p, short) {
+		t.Error("one container short should not fit")
+	}
+	small := exact
+	small.MaxContainerGB = req.ContainerGB - 1e-6
+	if Fits(p, small) {
+		t.Error("meaningfully smaller containers should not fit")
+	}
+	if Fits(p, cluster.Conditions{}) {
+		t.Error("zero-container conditions should admit nothing")
+	}
+}
+
+// TestSubmitErrorPaths covers the failure branches of Submit: nil plan,
+// invalid available conditions (a zero-container offer fails validation
+// before Fits is consulted), Reoptimize without its collaborators, and
+// Reoptimize whose planner has no feasible plan because the model set is
+// empty.
+func TestSubmitErrorPaths(t *testing.T) {
+	sched, q, p := setup(t)
+	if _, err := sched.Submit(q, nil, cluster.Default(), Wait); err == nil {
+		t.Error("nil plan accepted")
+	}
+	if _, err := sched.Submit(q, p, cluster.Conditions{}, Wait); err == nil {
+		t.Error("zero-container conditions accepted")
+	}
+	if _, err := sched.Submit(q, p, lowAvail(), Policy(42)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := sched.Submit(nil, p, lowAvail(), Reoptimize); err == nil {
+		t.Error("Reoptimize without the logical query accepted")
+	}
+	noOpt := &Scheduler{Engine: sched.Engine, Pricing: sched.Pricing}
+	if _, err := noOpt.Submit(q, p, lowAvail(), Reoptimize); err == nil {
+		t.Error("Reoptimize without an optimizer accepted")
+	}
+	// An optimizer over an empty model set can cost no join at all: the
+	// replanning itself must surface the error, not panic or admit.
+	empty, err := core.New(cluster.Default(), core.Options{Models: cost.NewModels()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Optimizer = empty
+	if _, err := sched.Submit(q, p, lowAvail(), Reoptimize); err == nil {
+		t.Error("Reoptimize with no feasible plan accepted")
+	}
+}
+
+// TestParsePolicy round-trips every policy name and rejects the rest.
+func TestParsePolicy(t *testing.T) {
+	for _, p := range []Policy{Wait, Degrade, Reoptimize} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	for _, bad := range []string{"", "WAIT", "requeue"} {
+		if _, err := ParsePolicy(bad); err == nil {
+			t.Errorf("ParsePolicy(%q) accepted", bad)
+		}
+	}
+}

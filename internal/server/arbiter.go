@@ -1,0 +1,205 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"raqo/internal/arbiter"
+	"raqo/internal/feedback"
+	"raqo/internal/scheduler"
+)
+
+// This file is the HTTP face of internal/arbiter: POST /v1/submit runs
+// one query through the shared-cluster workload arbiter on its virtual
+// clock, GET /v1/arbiter/stats reports (and optionally drains) the
+// simulated cluster. The arbiter is single-threaded by design — its
+// optimizer's conditions are re-pointed per admission round — so the
+// handlers serialize on arbMu rather than going through the planning
+// admission slots.
+
+// SubmitRequest is the body of POST /v1/submit: one workload query for
+// the arbiter's shared cluster.
+type SubmitRequest struct {
+	// Tenant selects the submitting tenant; "" selects "default" (the
+	// single tenant configured when Config.ArbiterTenants is nil).
+	Tenant string `json:"tenant,omitempty"`
+	// Query is a TPC-H evaluation query name (Q12, Q3, Q2, All).
+	Query string `json:"query"`
+	// Policy is what the arbiter does when the cluster cannot satisfy the
+	// submission-time plan: "wait", "degrade" or "reoptimize" (default —
+	// adaptive RAQO).
+	Policy string `json:"policy,omitempty"`
+}
+
+// SubmitResponse is the outcome of one arbitrated query. All times are
+// virtual seconds on the arbiter's discrete-event clock; Finish lies in
+// the virtual future (the gang stays held, so later submissions contend
+// with it).
+type SubmitResponse struct {
+	Tenant         string  `json:"tenant"`
+	Query          string  `json:"query"`
+	Policy         string  `json:"policy"`
+	ArrivalSeconds float64 `json:"arrivalSeconds"`
+	StartSeconds   float64 `json:"startSeconds"`
+	FinishSeconds  float64 `json:"finishSeconds"`
+	QueueSeconds   float64 `json:"queueSeconds"`
+	ExecSeconds    float64 `json:"execSeconds"`
+	QueueRunRatio  float64 `json:"queueRunRatio"`
+	Replanned      bool    `json:"replanned"`
+	Degraded       bool    `json:"degraded"`
+	Containers     int     `json:"containers"`
+	ContainerGB    float64 `json:"containerGB"`
+}
+
+// NewSubmitResponse converts an arbiter outcome to its wire form.
+func NewSubmitResponse(o *arbiter.Outcome) SubmitResponse {
+	return SubmitResponse{
+		Tenant:         o.Tenant,
+		Query:          o.Query,
+		Policy:         o.Policy.String(),
+		ArrivalSeconds: o.Arrival,
+		StartSeconds:   o.Start,
+		FinishSeconds:  o.Finish,
+		QueueSeconds:   o.QueueSeconds,
+		ExecSeconds:    o.ExecSeconds,
+		QueueRunRatio:  o.Ratio(),
+		Replanned:      o.Replanned,
+		Degraded:       o.Degraded,
+		Containers:     o.Containers,
+		ContainerGB:    o.ContainerGB,
+	}
+}
+
+// ArbiterStatsResponse is the body of GET /v1/arbiter/stats.
+type ArbiterStatsResponse struct {
+	NowSeconds     float64 `json:"nowSeconds"`
+	Completed      int     `json:"completed"`
+	InFlight       int     `json:"inFlight"`
+	Queued         int     `json:"queued"`
+	Rejected       int64   `json:"rejected"`
+	Failed         int64   `json:"failed"`
+	AdmittedWait   int64   `json:"admittedWait"`
+	AdmittedDeg    int64   `json:"admittedDegrade"`
+	AdmittedReopt  int64   `json:"admittedReoptimize"`
+	Replanned      int64   `json:"replanned"`
+	Degraded       int64   `json:"degraded"`
+	DegradeStalls  int64   `json:"degradeStalls"`
+	Recals         int64   `json:"recalibrations"`
+	FreeContainers int     `json:"freeContainers"`
+	HeldGB         float64 `json:"heldGB"`
+}
+
+// NewArbiterStatsResponse converts an arbiter stats snapshot.
+func NewArbiterStatsResponse(st arbiter.Stats) ArbiterStatsResponse {
+	return ArbiterStatsResponse{
+		NowSeconds:     st.Now,
+		Completed:      st.Completed,
+		InFlight:       st.InFlight,
+		Queued:         st.Queued,
+		Rejected:       st.Rejected,
+		Failed:         st.Failed,
+		AdmittedWait:   st.AdmittedWait,
+		AdmittedDeg:    st.AdmittedDeg,
+		AdmittedReopt:  st.AdmittedReopt,
+		Replanned:      st.Replanned,
+		Degraded:       st.Degraded,
+		DegradeStalls:  st.DegradeStalls,
+		Recals:         st.Recals,
+		FreeContainers: st.FreeContainers,
+		HeldGB:         st.HeldGB,
+	}
+}
+
+// arbiterState bundles the server's workload arbiter with the mutex that
+// serializes HTTP access to it.
+type arbiterState struct {
+	mu  sync.Mutex
+	arb *arbiter.Arbiter
+}
+
+// Arbiter returns the server's workload arbiter (primarily for tests).
+// Callers must not use it concurrently with the HTTP handlers.
+func (s *Server) Arbiter() *arbiter.Arbiter { return s.arb.arb }
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Tenant == "" {
+		req.Tenant = "default"
+	}
+	if req.Policy == "" {
+		req.Policy = scheduler.Reoptimize.String()
+	}
+	policy, err := scheduler.ParsePolicy(req.Policy)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Query == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing query"))
+		return
+	}
+
+	s.arb.mu.Lock()
+	out, err := s.arb.arb.SubmitWait(req.Tenant, req.Query, policy)
+	s.arb.mu.Unlock()
+	switch {
+	case err == nil:
+		writeResult(w, NewSubmitResponse(out))
+	case errors.Is(err, arbiter.ErrRejected):
+		s.metrics.Rejected.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds())+1))
+		writeError(w, http.StatusTooManyRequests, err)
+	case isUnknownNameError(err):
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		// Execution failure at the chosen resources, or a planning error.
+		writeError(w, http.StatusUnprocessableEntity, err)
+	}
+}
+
+// isUnknownNameError reports whether a submission failed validation (an
+// unknown tenant, query or policy) rather than arbitration.
+func isUnknownNameError(err error) bool {
+	var ue *arbiter.UnknownError
+	return errors.As(err, &ue)
+}
+
+func (s *Server) handleArbiterStats(w http.ResponseWriter, r *http.Request) {
+	drain := false
+	if v := r.URL.Query().Get("drain"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad drain %q: %w", v, err))
+			return
+		}
+		drain = b
+	}
+	s.arb.mu.Lock()
+	defer s.arb.mu.Unlock()
+	if drain {
+		if err := s.arb.arb.Drain(); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	writeResult(w, NewArbiterStatsResponse(s.arb.arb.Stats()))
+}
+
+// defaultArbiterTenants is the single-tenant configuration installed when
+// Config.ArbiterTenants is nil.
+func defaultArbiterTenants() []arbiter.TenantConfig {
+	return []arbiter.TenantConfig{{Name: "default", Weight: 1}}
+}
+
+// arbiterObserver wires arbiter completions into the server's feedback
+// recalibrator.
+func arbiterObserver(rec *feedback.Recalibrator) *feedback.Observer {
+	return &feedback.Observer{Recal: rec}
+}

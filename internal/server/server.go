@@ -15,6 +15,8 @@
 //	GET  /v1/explain/{query}  plan tree + resources + cost breakdown
 //	POST /v1/feedback         execution observations into the feedback store
 //	GET  /v1/model            live cost-model version + drift/error stats
+//	POST /v1/submit           one workload query through the shared-cluster arbiter
+//	GET  /v1/arbiter/stats    arbiter state; ?drain=1 drains the virtual cluster
 //	GET  /healthz             liveness
 //	GET  /metrics             Prometheus text exposition (internal/telemetry)
 //
@@ -39,9 +41,12 @@ import (
 	"strings"
 	"time"
 
+	"raqo/internal/arbiter"
 	"raqo/internal/catalog"
 	"raqo/internal/cluster"
 	"raqo/internal/core"
+	"raqo/internal/cost"
+	"raqo/internal/execsim"
 	"raqo/internal/feedback"
 	"raqo/internal/plan"
 	"raqo/internal/resource"
@@ -103,6 +108,17 @@ type Config struct {
 	// recalibrates; 0 selects 30s, negative disables the loop (feedback
 	// still accumulates and /v1/model still reports drift).
 	RecalInterval time.Duration
+
+	// ArbiterCapacity is the container count of the simulated shared pool
+	// behind POST /v1/submit; 0 selects 100 (the paper's cluster scale).
+	ArbiterCapacity int
+	// ArbiterTenants configures the workload arbiter's tenants; nil
+	// selects a single unlimited "default" tenant.
+	ArbiterTenants []arbiter.TenantConfig
+	// ArbiterRecalEvery asks the arbiter to offer the recalibrator a drift
+	// check every N completions; 0 disables (the background RecalInterval
+	// loop still covers drift from posted feedback).
+	ArbiterRecalEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +152,12 @@ func (c Config) withDefaults() Config {
 	if c.RecalInterval == 0 {
 		c.RecalInterval = 30 * time.Second
 	}
+	if c.ArbiterCapacity == 0 {
+		c.ArbiterCapacity = 100
+	}
+	if len(c.ArbiterTenants) == 0 {
+		c.ArbiterTenants = defaultArbiterTenants()
+	}
 	return c
 }
 
@@ -151,6 +173,7 @@ type Server struct {
 	start   time.Time
 	rec     *feedback.Recalibrator
 	journal *feedback.Journal // nil unless Config.JournalPath was set
+	arb     *arbiterState
 }
 
 // New builds a Server: schema, shared warm optimizer, metric registry and
@@ -202,9 +225,48 @@ func New(cfg Config) (*Server, error) {
 	})
 	m.AttachFeedback(rec)
 
+	sch := catalog.TPCH(cfg.SF)
+	// The arbiter owns a second optimizer: its conditions are re-pointed
+	// per admission round, which the shared serving optimizer (planning
+	// under the fixed Config.Conditions) must never see. Both follow the
+	// same live model set via OnSwap below.
+	engine := execsim.Hive()
+	arbOpt, err := core.New(cfg.Conditions, core.Options{
+		Models:       opt.Models(),
+		Engine:       &engine,
+		MemoizeCosts: true,
+		Workers:      cfg.Options.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rec.OnSwap(func(_ feedback.Recalibration, info *feedback.ModelInfo) {
+		_ = arbOpt.SetModels(info.Models)
+	})
+	queries, err := workload.TPCHQueries(sch)
+	if err != nil {
+		return nil, err
+	}
+	arb, err := arbiter.New(arbiter.Config{
+		Capacity:   cfg.ArbiterCapacity,
+		Base:       cfg.Conditions,
+		Engine:     engine,
+		Pricing:    cost.DefaultPricing(),
+		Optimizer:  arbOpt,
+		Workers:    cfg.Options.Workers,
+		Queries:    queries,
+		Tenants:    cfg.ArbiterTenants,
+		Feedback:   arbiterObserver(rec),
+		RecalEvery: cfg.ArbiterRecalEvery,
+		Metrics:    arbiter.NewMetrics(reg),
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	s := &Server{
 		cfg:     cfg,
-		sch:     catalog.TPCH(cfg.SF),
+		sch:     sch,
 		opt:     opt,
 		cache:   cache,
 		metrics: m,
@@ -212,6 +274,7 @@ func New(cfg Config) (*Server, error) {
 		start:   time.Now(),
 		rec:     rec,
 		journal: journal,
+		arb:     &arbiterState{arb: arb},
 	}
 	reg.GaugeFunc("raqo_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
@@ -221,6 +284,8 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/batch", s.instrument("/v1/batch", s.handleBatch))
 	mux.HandleFunc("GET /v1/explain/{query}", s.instrument("/v1/explain", s.handleExplain))
 	mux.HandleFunc("POST /v1/feedback", s.instrument("/v1/feedback", s.handleFeedback))
+	mux.HandleFunc("POST /v1/submit", s.instrument("/v1/submit", s.handleSubmit))
+	mux.HandleFunc("GET /v1/arbiter/stats", s.instrument("/v1/arbiter/stats", s.handleArbiterStats))
 	mux.HandleFunc("GET /v1/model", s.instrument("/v1/model", s.handleModel))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))

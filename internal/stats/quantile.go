@@ -1,0 +1,32 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Percentile returns the nearest-rank p-th percentile (0 < p <= 100) of
+// the values. The input is not modified; an empty input yields 0. The
+// nearest-rank definition matches the drift detector's windowed quantiles
+// and is exact (no interpolation), which keeps report output byte-stable.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
