@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json bench-serve-json bench-lint-json bench-feedback bench-arbiter smoke smoke-feedback smoke-arbiter lint lint-fix-check
+.PHONY: check fmt vet build test race bench bench-json bench-serve-json bench-lint-json bench-feedback bench-arbiter bench-hotpath alloc-check smoke smoke-feedback smoke-arbiter lint lint-fix-check
 
-check: fmt vet build lint lint-fix-check race bench smoke smoke-feedback smoke-arbiter
+check: fmt vet build lint lint-fix-check race alloc-check bench smoke smoke-feedback smoke-arbiter
 
 # Fail when any file needs gofmt.
 fmt:
@@ -35,10 +35,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Allocation gate: hard AllocsPerRun ceilings on the planning hot paths
+# (pooled DP state, arena plans, cached signatures, incremental memo).
+# A per-candidate allocation regression fails `make check` here.
+alloc-check:
+	$(GO) test -run TestHotPathAllocCeilings .
+
 # Short benchmark pass over the concurrency-sensitive paths; failures here
 # are correctness failures (the benchmarks assert planner errors).
 bench:
-	$(GO) test -run xxx -bench 'OptimizeParallel|OptimizeBatch|CacheContention' -benchtime=0.2s .
+	$(GO) test -run xxx -bench 'OptimizeParallel|OptimizeBatch|CacheContention' -benchtime=0.2s -benchmem .
 
 # Record the concurrency benchmark numbers in BENCH_optimize.json.
 bench-json:
@@ -60,6 +66,11 @@ bench-feedback:
 # throughput in BENCH_arbiter.json.
 bench-arbiter:
 	RAQO_BENCH_JSON=1 $(GO) test -run TestWriteArbiterBenchJSON .
+
+# Record the hot-path planning numbers behind the alloc gate in
+# BENCH_hotpath.json.
+bench-hotpath:
+	RAQO_BENCH_JSON=1 $(GO) test -run TestWriteHotpathBenchJSON .
 
 # End-to-end smoke test: start `raqo serve` on an ephemeral port, hit
 # /healthz and /v1/optimize, then check the SIGTERM drain.

@@ -1,0 +1,211 @@
+// Allocation gates for the planning hot path. TestHotPathAllocCeilings
+// runs under plain `go test` (and `make check` via the alloc-check
+// target) and fails on allocation regressions: the pooled DP state,
+// plan arena, cached signatures and incremental re-optimization memo
+// keep steady-state planning allocations bounded, and these ceilings
+// pin that down. Run the timings with:
+//
+//	go test -bench HotPath -benchtime=0.2s .
+//
+// RAQO_BENCH_JSON=1 go test -run TestWriteHotpathBenchJSON records the
+// numbers in BENCH_hotpath.json.
+package raqo_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"raqo/internal/catalog"
+	"raqo/internal/cluster"
+	"raqo/internal/core"
+	"raqo/internal/execsim"
+	"raqo/internal/plan"
+	"raqo/internal/workload"
+)
+
+// hotPathOptimizer is a warm joint optimizer in the serving
+// configuration: cost memo on, Selinger DP, trained-model-free defaults.
+func hotPathOptimizer(tb testing.TB) (*core.Optimizer, *plan.Query) {
+	tb.Helper()
+	engine := execsim.Hive()
+	o, err := core.New(cluster.Default(), core.Options{
+		Seed: 42, Engine: &engine, MemoizeCosts: true,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	q, err := workload.TPCHQuery(catalog.TPCH(100), workload.All)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := o.Optimize(q); err != nil { // warm the memo
+		tb.Fatal(err)
+	}
+	return o, q
+}
+
+// TestHotPathAllocCeilings asserts hard allocation ceilings on the
+// steady-state hot paths. The ceilings carry slack over the measured
+// numbers (see BENCH_hotpath.json) so noise does not flake the gate,
+// but an accidental per-candidate or per-operator allocation — the
+// regressions the pooled state exists to prevent — blows through them.
+func TestHotPathAllocCeilings(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector adds allocations; ceilings hold on plain builds only")
+	}
+	if testing.Short() {
+		t.Skip("alloc gate is not meaningful under -short")
+	}
+
+	// Warm joint optimization of the 8-relation TPC-H All query: the full
+	// Selinger DP with pooled state, arena plans and memoized costs. The
+	// seed measured ~3162 allocs on this path; the overhaul's acceptance
+	// ceiling is 1000 and the measured number is now far below it.
+	o, q := hotPathOptimizer(t)
+	if got := testing.AllocsPerRun(50, func() {
+		if _, err := o.Optimize(q); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 1000 {
+		t.Errorf("warm Optimize(All) allocates %.0f/op, ceiling 1000", got)
+	}
+
+	// Cached plan signatures: recomputing on an unchanged tree must not
+	// rebuild the string.
+	d, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := d.Plan.SignatureWithResources()
+	if got := testing.AllocsPerRun(50, func() {
+		if d.Plan.SignatureWithResources() != sig {
+			t.Fatal("signature drifted")
+		}
+	}); got > 2 {
+		t.Errorf("cached SignatureWithResources allocates %.0f/op, ceiling 2", got)
+	}
+
+	// Incremental re-optimization exact hit: answering a repeated
+	// condition must be a memo lookup, not a re-plan.
+	inc := core.NewIncremental(o, 0)
+	cond := cluster.Default()
+	if _, _, err := inc.Optimize(q, cond); err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(50, func() {
+		if _, src, err := inc.Optimize(q, cond); err != nil || src != core.ReoptExact {
+			t.Fatalf("exact hit: src=%v err=%v", src, err)
+		}
+	}); got > 8 {
+		t.Errorf("incremental exact hit allocates %.0f/op, ceiling 8", got)
+	}
+
+	// The serving path end to end: routing, admission, warm planning and
+	// JSON encoding. Same 1000 ceiling as the planner — the acceptance
+	// bar of the overhaul (seed: 3162 allocs/op on query=All).
+	s := newBenchServer(t)
+	serveOptimizeOnce(t, s, "All")
+	if got := testing.AllocsPerRun(20, func() {
+		serveOptimizeOnce(t, s, "All")
+	}); got > 1000 {
+		t.Errorf("warm /v1/optimize query=All allocates %.0f/op, ceiling 1000", got)
+	}
+}
+
+// BenchmarkHotPathOptimize times the warm joint optimization the alloc
+// gate bounds.
+func BenchmarkHotPathOptimize(b *testing.B) {
+	o, q := hotPathOptimizer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Optimize(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotPathIncrementalExact times the exact-memo answer path of
+// incremental re-optimization.
+func BenchmarkHotPathIncrementalExact(b *testing.B) {
+	o, q := hotPathOptimizer(b)
+	inc := core.NewIncremental(o, 0)
+	cond := cluster.Default()
+	if _, _, err := inc.Optimize(q, cond); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := inc.Optimize(q, cond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestWriteHotpathBenchJSON records the hot-path numbers in
+// BENCH_hotpath.json. Gated behind RAQO_BENCH_JSON=1 because it runs
+// the suite via testing.Benchmark.
+func TestWriteHotpathBenchJSON(t *testing.T) {
+	if os.Getenv("RAQO_BENCH_JSON") == "" {
+		t.Skip("set RAQO_BENCH_JSON=1 to record BENCH_hotpath.json")
+	}
+	type entry struct {
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		OpsPerSec   float64 `json:"ops_per_sec"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+	}
+	var entries []entry
+	record := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		entries = append(entries, entry{
+			Name:        name,
+			NsPerOp:     ns,
+			OpsPerSec:   1e9 / ns,
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	record("HotPathOptimize/query=All", BenchmarkHotPathOptimize)
+	record("HotPathIncrementalExact/query=All", BenchmarkHotPathIncrementalExact)
+	record("HotPathSignatureCached", func(b *testing.B) {
+		o, q := hotPathOptimizer(b)
+		d, err := o.Optimize(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sig := d.Plan.SignatureWithResources()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if d.Plan.SignatureWithResources() != sig {
+				b.Fatal("signature drifted")
+			}
+		}
+	})
+	report := struct {
+		GoMaxProcs int     `json:"gomaxprocs"`
+		NumCPU     int     `json:"num_cpu"`
+		Note       string  `json:"note"`
+		Benchmarks []entry `json:"benchmarks"`
+	}{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Note: "Steady-state planning hot paths behind the alloc gate " +
+			"(TestHotPathAllocCeilings): warm 8-relation joint optimization with " +
+			"pooled DP state and arena plans, the incremental re-optimizer's " +
+			"exact-memo answer, and a cached plan-signature read.",
+		Benchmarks: entries,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_hotpath.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_hotpath.json with %d benchmarks", len(entries))
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package raqo_test
+
+// raceEnabled reports whether the race detector instruments this build.
+// The allocation-ceiling assertions are skipped under -race: the detector
+// adds its own allocations, so the ceilings only hold on plain builds.
+const raceEnabled = false

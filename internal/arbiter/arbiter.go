@@ -17,7 +17,6 @@
 package arbiter
 
 import (
-	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -59,11 +58,19 @@ type Config struct {
 	Pricing cost.Pricing
 	// Optimizer plans submissions and re-optimizations. The arbiter owns
 	// it exclusively: its conditions are re-pointed per admission round,
-	// so it must not be shared with concurrent callers.
+	// so it must not be shared with concurrent callers. All planning is
+	// routed through a core.Incremental wrapper, so repeated conditions
+	// answer from its exact memo and small restrictions patch in place of
+	// a full re-plan — provably bit-identical to planning from scratch.
 	Optimizer *core.Optimizer
-	// Workers bounds the parallelism of batched re-optimization (the
-	// OptimizeBatch fan-out); results are bit-identical across values.
+	// Workers is the intra-query parallelism hint carried by the optimizer
+	// itself; re-optimization outcomes are bit-identical across values.
 	Workers int
+	// ReoptEnvelope is the validity envelope of incremental
+	// re-optimization (relative shrink of the condition bounds that may be
+	// patched rather than fully re-planned); <= 0 selects
+	// core.DefaultReoptEnvelope.
+	ReoptEnvelope float64
 	// Queries resolves arrival query names to logical queries.
 	Queries map[string]*plan.Query
 	Tenants []TenantConfig
@@ -134,6 +141,14 @@ type Stats struct {
 	Recals         int64
 	FreeContainers int
 	HeldGB         float64
+	// Re-optimization answer sources (see core.IncrementalStats): plans
+	// answered from scratch, from the exact-conditions memo, or by
+	// patch-validating the cached plan. ReoptFallback counts patch
+	// attempts that failed validation (a subset of ReoptFull).
+	ReoptFull     int64
+	ReoptExact    int64
+	ReoptPatched  int64
+	ReoptFallback int64
 }
 
 // ErrRejected wraps every backpressure rejection (queue full, request
@@ -187,13 +202,15 @@ type subKey struct {
 type Arbiter struct {
 	cfg         Config
 	pool        *cluster.Pool
-	tenants     []*tenantState // config order — the deterministic scan order
+	reopt       *core.Incremental // all planning routes through this wrapper
+	tenants     []*tenantState    // config order — the deterministic scan order
 	byName      map[string]*tenantState
 	inflight    map[int64]*running // by pool allocation token; never ranged
 	completed   []Outcome
 	subPlans    map[subKey]*core.Decision
 	totalWeight float64
 	sinceRecal  int
+	joinBuf     []*plan.Node // reused by admitDegraded's clamp walk
 
 	rejected      int64
 	failed        int64
@@ -228,6 +245,7 @@ func New(cfg Config) (*Arbiter, error) {
 	a := &Arbiter{
 		cfg:      cfg,
 		pool:     pool,
+		reopt:    core.NewIncremental(cfg.Optimizer, cfg.ReoptEnvelope),
 		byName:   make(map[string]*tenantState, len(cfg.Tenants)),
 		inflight: make(map[int64]*running),
 		subPlans: make(map[subKey]*core.Decision),
@@ -262,6 +280,7 @@ func (a *Arbiter) Stats() Stats {
 	for _, ts := range a.tenants {
 		queued += len(ts.queue)
 	}
+	ist := a.reopt.Stats()
 	return Stats{
 		Now:            a.pool.Now(),
 		Completed:      len(a.completed),
@@ -278,6 +297,10 @@ func (a *Arbiter) Stats() Stats {
 		Recals:         a.recals,
 		FreeContainers: a.pool.Free(),
 		HeldGB:         a.pool.HeldGB(),
+		ReoptFull:      ist.Full,
+		ReoptExact:     ist.Exact,
+		ReoptPatched:   ist.Patched,
+		ReoptFallback:  ist.Fallback,
 	}
 }
 
@@ -292,16 +315,16 @@ func (a *Arbiter) modelVersion() uint64 {
 
 // submissionPlan optimizes a query under the full Base conditions — the
 // plan a client fixes at submission time — cached per (query, model
-// version).
+// version) in front of the incremental engine's own exact memo. Routing
+// the miss path through the incremental engine seeds its patch baseline
+// with the Base-conditions plan, so admission-time re-optimizations under
+// mildly restricted conditions can validate-and-reuse it.
 func (a *Arbiter) submissionPlan(name string, q *plan.Query) (*core.Decision, error) {
 	key := subKey{query: name, version: a.modelVersion()}
 	if d, ok := a.subPlans[key]; ok {
 		return d, nil
 	}
-	if err := a.cfg.Optimizer.SetConditions(a.cfg.Base); err != nil {
-		return nil, err
-	}
-	d, err := a.cfg.Optimizer.Optimize(q)
+	d, _, err := a.reopt.Optimize(q, a.cfg.Base)
 	if err != nil {
 		return nil, err
 	}
@@ -520,7 +543,8 @@ func (a *Arbiter) admit(ts *tenantState, p *pending, d *core.Decision, replanned
 // next event.
 func (a *Arbiter) admitDegraded(ts *tenantState, p *pending, cond cluster.Conditions) (bool, error) {
 	clamped := p.dec.Plan.Clone()
-	for _, j := range clamped.Joins() {
+	a.joinBuf = clamped.AppendJoins(a.joinBuf[:0])
+	for _, j := range a.joinBuf {
 		j.Res = cond.Clamp(j.Res)
 	}
 	if _, err := a.cfg.Engine.Execute(clamped, a.cfg.Pricing); err != nil {
@@ -546,43 +570,20 @@ type replanItem struct {
 }
 
 // replanBatch re-optimizes every stashed queue head under its stash-time
-// conditions — grouped by identical conditions so each group is one
-// OptimizeBatch call — then admits the new plans in stash order while
-// they still fit the shrinking pool.
+// conditions through the incremental engine — repeated conditions answer
+// from the exact memo, small restrictions patch-validate the cached plan,
+// and only genuinely new conditions pay a full joint optimization — then
+// admits the new plans in stash order while they still fit the shrinking
+// pool. Incremental answers are bit-identical to planning every item from
+// scratch (the core determinism suite proves it), so outcome streams are
+// unchanged from the batched implementation.
 func (a *Arbiter) replanBatch(stash []replanItem, fairShare bool) (bool, error) {
-	groups := make([][]int, 0, 2)
-	index := make(map[cluster.Conditions]int, 2)
-	conds := make([]cluster.Conditions, 0, 2)
-	for i, it := range stash {
-		gi, ok := index[it.cond]
-		if !ok {
-			gi = len(groups)
-			index[it.cond] = gi
-			groups = append(groups, nil)
-			conds = append(conds, it.cond)
-		}
-		groups[gi] = append(groups[gi], i)
-	}
-	decisions := make([]*core.Decision, len(stash))
-	for gi, members := range groups {
-		if err := a.cfg.Optimizer.SetConditions(conds[gi]); err != nil {
-			return false, err
-		}
-		queries := make([]*plan.Query, len(members))
-		for k, i := range members {
-			queries[k] = stash[i].p.q
-		}
-		decs, err := a.cfg.Optimizer.OptimizeBatchCtx(context.Background(), queries, a.cfg.Workers)
-		if err != nil {
-			return false, fmt.Errorf("arbiter: re-optimizing batch: %w", err)
-		}
-		for k, i := range members {
-			decisions[i] = decs[k]
-		}
-	}
 	admittedAny := false
-	for i, it := range stash {
-		d := decisions[i]
+	for _, it := range stash {
+		d, _, err := a.reopt.Optimize(it.p.q, it.cond)
+		if err != nil {
+			return false, fmt.Errorf("arbiter: re-optimizing %s/%s: %w", it.p.arr.Tenant, it.p.arr.Query, err)
+		}
 		// Earlier admissions in this pass shrank the pool: recheck before
 		// holding the gang. A plan that no longer fits retries next event.
 		cond, ok := a.condFor(it.ts, fairShare)

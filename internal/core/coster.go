@@ -155,7 +155,7 @@ func (c *Coster) CostOperator(j *plan.Node) (optimizer.OpCost, error) {
 func (c *Coster) costJoin(j *plan.Node, model cost.Model) (optimizer.OpCost, bool, error) {
 	cond := c.Cond
 	if c.Engine != nil && j.Algo == plan.BHJ {
-		restricted, err := c.restrictForBroadcast(j)
+		restricted, err := restrictForBroadcast(c.Engine, c.Cond, j)
 		if err != nil {
 			c.pruned.Add(1)
 			return optimizer.OpCost{}, true, err
@@ -194,10 +194,11 @@ func (c *Coster) costJoin(j *plan.Node, model cost.Model) (optimizer.OpCost, boo
 
 // restrictForBroadcast raises the minimum container size so the operator's
 // hash side fits the engine's memory budget; it errors when even the
-// largest container cannot hold it.
-func (c *Coster) restrictForBroadcast(j *plan.Node) (cluster.Conditions, error) {
-	need := j.SmallerInputGB() / c.Engine.OOMFrac
-	cond := c.Cond
+// largest container cannot hold it. Standalone (rather than a Coster
+// method) so the incremental re-optimizer can probe an operator under
+// hypothetical conditions without building a coster.
+func restrictForBroadcast(engine *execsim.Params, cond cluster.Conditions, j *plan.Node) (cluster.Conditions, error) {
+	need := j.SmallerInputGB() / engine.OOMFrac
 	if need <= cond.MinContainerGB {
 		return cond, nil
 	}

@@ -1,0 +1,80 @@
+// Package intern provides a process-wide string intern table, used to
+// deduplicate the plan-signature strings that serve as memo and cache
+// keys throughout the optimizer. Interning makes repeated signatures
+// share one backing allocation and turns subsequent key comparisons into
+// pointer-size compares in the common case.
+//
+// The table is striped: each string hashes (FNV-1a) to one of a fixed
+// number of shards guarded by their own RWMutex, so concurrent planners
+// interning disjoint signatures rarely contend.
+package intern
+
+import "sync"
+
+const shards = 64
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+// Table is a striped string intern table. The zero value is not usable;
+// use NewTable.
+type Table struct {
+	shards [shards]shard
+}
+
+// NewTable builds an empty intern table.
+func NewTable() *Table {
+	t := &Table{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[string]string)
+	}
+	return t
+}
+
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// Intern returns a canonical copy of s: the first caller's string is
+// stored and every later call with an equal string returns that same
+// backing string.
+func (t *Table) Intern(s string) string {
+	sh := &t.shards[fnv1a(s)%shards]
+	sh.mu.RLock()
+	c, ok := sh.m[s]
+	sh.mu.RUnlock()
+	if ok {
+		return c
+	}
+	sh.mu.Lock()
+	if c, ok = sh.m[s]; !ok {
+		sh.m[s] = s
+		c = s
+	}
+	sh.mu.Unlock()
+	return c
+}
+
+// Len reports how many distinct strings the table holds.
+func (t *Table) Len() int {
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// global is the process-wide table behind String.
+var global = NewTable()
+
+// String interns s in the process-wide table.
+func String(s string) string { return global.Intern(s) }

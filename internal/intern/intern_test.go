@@ -1,0 +1,74 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+// same reports whether two equal strings share a backing array.
+func same(a, b string) bool {
+	return unsafe.StringData(a) == unsafe.StringData(b)
+}
+
+func TestInternCanonicalizes(t *testing.T) {
+	tb := NewTable()
+	a := tb.Intern("SMJ(a,b)")
+	b := tb.Intern("SM" + "J(a,b)") // equal content, distinct allocation
+	if a != b {
+		t.Fatalf("interned strings differ: %q vs %q", a, b)
+	}
+	if !same(a, b) {
+		t.Fatal("equal strings were not canonicalized to one backing array")
+	}
+	if got := tb.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+}
+
+func TestInternDistinct(t *testing.T) {
+	tb := NewTable()
+	for i := 0; i < 500; i++ {
+		tb.Intern(fmt.Sprintf("sig-%d", i))
+	}
+	if got := tb.Len(); got != 500 {
+		t.Fatalf("Len = %d, want 500", got)
+	}
+}
+
+func TestInternConcurrent(t *testing.T) {
+	tb := NewTable()
+	var wg sync.WaitGroup
+	out := make([][]string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got := make([]string, 100)
+			for i := range got {
+				got[i] = tb.Intern(fmt.Sprintf("shared-%d", i))
+			}
+			out[w] = got
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < 8; w++ {
+		for i := range out[w] {
+			if !same(out[0][i], out[w][i]) {
+				t.Fatalf("worker %d got a different canonical string for %q", w, out[0][i])
+			}
+		}
+	}
+	if got := tb.Len(); got != 100 {
+		t.Fatalf("Len = %d, want 100", got)
+	}
+}
+
+func TestGlobalString(t *testing.T) {
+	a := String("global-" + t.Name())
+	b := String("global-" + t.Name())
+	if !same(a, b) {
+		t.Fatal("global String did not canonicalize")
+	}
+}

@@ -18,6 +18,8 @@
 //     so an abandoned request actually stops burning CPU mid-search.
 //   - metric: telemetry names and labels must be compile-time bounded,
 //     or /metrics cardinality grows without limit under real traffic.
+//   - pool: objects returned to a sync.Pool must be reset first, or the
+//     hot-path pools recycle stale plan state across queries.
 //
 // Findings print as "file:line:col: [rule] message". A finding can be
 // suppressed with a trailing or immediately preceding comment of the form
@@ -74,7 +76,7 @@ type Analyzer struct {
 
 // Analyzers returns the full RAQO suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NonDet(), Clock(), Units(), CtxLoop(), Telemetry()}
+	return []*Analyzer{NonDet(), Clock(), Units(), CtxLoop(), Telemetry(), Pool()}
 }
 
 // KnownRules returns every rule name an //raqolint:ignore directive may

@@ -30,7 +30,7 @@ func TestGolden(t *testing.T) {
 	for _, f := range findings {
 		seen[f.Rule] = true
 	}
-	for _, rule := range []string{"maprange", "randsrc", "clock", "units", "unitmix", "ctx", "metric"} {
+	for _, rule := range []string{"maprange", "randsrc", "clock", "units", "unitmix", "ctx", "metric", "pool"} {
 		if !seen[rule] {
 			t.Errorf("golden tree has no positive case for rule %q", rule)
 		}

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Pool returns the sync.Pool hygiene analyzer (rule "pool"): an object
+// returned to a sync.Pool must be reset first, or the pool leaks stale
+// state — and in this codebase stale *plan.Node pointers inside a pooled
+// DP state would keep whole plans alive and let one query's arena nodes
+// bleed into the next (the hot-path pools in internal/optimizer/selinger
+// and internal/plan recycle exactly such object graphs).
+//
+// A Put(x) of a plain identifier is flagged unless the innermost
+// enclosing function shows reset evidence for x:
+//
+//   - a method call on x whose name mentions reset/release/clear/recycle
+//     (st.release(); buf.Reset()),
+//   - x passed to a function whose name mentions those (reset(st), or the
+//     clear builtin),
+//   - a clearing assignment through x — the manual truncate-and-return
+//     idiom: x.field = nil, x.field = x.field[:0], *x = T{}, x = 0-ish.
+//     Ordinary mutating assignments (x.field = append(...)) are not
+//     evidence; they are exactly the dirty state a reset must clear.
+//
+// Put of a non-identifier (a fresh composite literal or constructor call)
+// is never flagged: a freshly built value cannot carry stale state.
+func Pool() *Analyzer {
+	return &Analyzer{
+		Name:  "pool",
+		Doc:   "objects returned to a sync.Pool must be reset so recycled state never leaks across uses",
+		Rules: []string{"pool"},
+		Run:   runPool,
+	}
+}
+
+func runPool(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, poolCheckFunc(p, fd.Body)...)
+		}
+	}
+	return out
+}
+
+// poolCheckFunc checks one function body, recursing into function
+// literals so each Put is judged against its innermost enclosing
+// function (a deferred cleanup closure must carry its own evidence).
+func poolCheckFunc(p *Package, body *ast.BlockStmt) []Finding {
+	var out []Finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != body {
+			out = append(out, poolCheckFunc(p, fl.Body)...)
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := poolPutArg(p, call)
+		if obj == nil {
+			return true
+		}
+		if !resetEvidence(p, body, obj) {
+			out = append(out, p.finding("pool", call,
+				"%s is returned to a sync.Pool without reset evidence in this function; clear it (a reset/release method or field assignment) so recycled state never leaks into the next Get", obj.Name()))
+		}
+		return true
+	})
+	return out
+}
+
+// poolPutArg returns the object of the identifier being Put into a
+// sync.Pool, or nil when the call is not a sync.Pool.Put of a plain
+// (possibly &-taken) identifier.
+func poolPutArg(p *Package, call *ast.CallExpr) types.Object {
+	sel, ok := stripParens(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Put" || len(call.Args) != 1 {
+		return nil
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil
+	}
+	arg := stripParens(call.Args[0])
+	if ue, ok := arg.(*ast.UnaryExpr); ok {
+		arg = stripParens(ue.X)
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return p.Info.Uses[id]
+}
+
+// resetNames matches function and method names that plausibly clear an
+// object before it is recycled.
+func resetNames(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "reset") || strings.Contains(l, "release") ||
+		strings.Contains(l, "clear") || strings.Contains(l, "recycle")
+}
+
+// resetEvidence scans the function body (including nested literals — a
+// helper closure resetting the object still counts) for anything that
+// clears obj before it goes back into the pool.
+func resetEvidence(p *Package, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	isObj := func(e ast.Expr) bool {
+		id, ok := stripParens(e).(*ast.Ident)
+		return ok && p.Info.Uses[id] == obj
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			switch fun := stripParens(s.Fun).(type) {
+			case *ast.SelectorExpr:
+				// obj.Reset(), obj.release(), ...
+				if isObj(fun.X) && resetNames(fun.Sel.Name) {
+					found = true
+				}
+			case *ast.Ident:
+				// reset(obj), clear(obj), ...
+				if resetNames(fun.Name) {
+					for _, a := range s.Args {
+						if isObj(a) {
+							found = true
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				throughObj := false
+				switch l := stripParens(lhs).(type) {
+				case *ast.Ident:
+					throughObj = p.Info.Uses[l] == obj
+				case *ast.SelectorExpr:
+					throughObj = isObj(l.X)
+				case *ast.IndexExpr:
+					throughObj = isObj(l.X)
+				case *ast.StarExpr:
+					throughObj = isObj(l.X)
+				}
+				if !throughObj {
+					continue
+				}
+				if len(s.Rhs) == len(s.Lhs) && clearingExpr(s.Rhs[i]) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// clearingExpr reports whether an assigned value plausibly clears state:
+// nil, a zero-ish literal, an empty composite literal, or a truncation
+// slice x[:0].
+func clearingExpr(e ast.Expr) bool {
+	switch v := stripParens(e).(type) {
+	case *ast.Ident:
+		return v.Name == "nil" || v.Name == "false"
+	case *ast.BasicLit:
+		return v.Value == "0" || v.Value == `""` || v.Value == "0.0"
+	case *ast.CompositeLit:
+		return len(v.Elts) == 0
+	case *ast.SliceExpr:
+		high, ok := stripParens(v.High).(*ast.BasicLit)
+		return ok && high.Value == "0"
+	}
+	return false
+}

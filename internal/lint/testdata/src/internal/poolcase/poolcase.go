@@ -1,0 +1,73 @@
+// Package poolcase exercises the sync.Pool hygiene analyzer: a Put of a
+// recycled object must show reset evidence in its innermost enclosing
+// function, or stale state leaks into the next Get.
+package poolcase
+
+import "sync"
+
+type state struct {
+	buf  []int
+	next *state
+}
+
+func (s *state) release() { s.buf, s.next = s.buf[:0], nil }
+
+var pool = sync.Pool{New: func() any { return new(state) }}
+
+// Leak puts the state back dirty — the next Get sees the old buffer.
+func Leak(n int) int {
+	st := pool.Get().(*state)
+	st.buf = append(st.buf, n)
+	total := len(st.buf)
+	pool.Put(st) // want `\[pool\] st is returned to a sync.Pool without reset evidence`
+	return total
+}
+
+// DeferredLeak hides the dirty Put in a cleanup closure: the closure is
+// the innermost function and carries no reset of its own.
+func DeferredLeak(n int) int {
+	st := pool.Get().(*state)
+	defer func() {
+		pool.Put(st) // want `\[pool\] st is returned to a sync.Pool without reset evidence`
+	}()
+	st.buf = append(st.buf, n)
+	return len(st.buf)
+}
+
+// MethodReset releases via a named method — no finding.
+func MethodReset(n int) int {
+	st := pool.Get().(*state)
+	st.buf = append(st.buf, n)
+	total := len(st.buf)
+	st.release()
+	pool.Put(st)
+	return total
+}
+
+// DeferredReset mirrors the hot-path idiom: the cleanup closure resets
+// then puts — no finding.
+func DeferredReset(n int) int {
+	st := pool.Get().(*state)
+	defer func() {
+		st.release()
+		pool.Put(st)
+	}()
+	st.buf = append(st.buf, n)
+	return len(st.buf)
+}
+
+// FieldReset truncates by assignment, the manual idiom — no finding.
+func FieldReset(n int) int {
+	st := pool.Get().(*state)
+	st.buf = append(st.buf, n)
+	total := len(st.buf)
+	st.buf = st.buf[:0]
+	st.next = nil
+	pool.Put(st)
+	return total
+}
+
+// Fresh puts a newly built value — nothing stale to leak, no finding.
+func Fresh() {
+	pool.Put(new(state))
+}

@@ -42,17 +42,30 @@ type OperatorCoster interface {
 
 // PlanCost prices a whole plan by summing its join operators, invoking the
 // coster bottom-up (so resource annotations are in place before parents are
-// priced).
+// priced). The walk is a direct recursion threading one accumulator in the
+// same post-order Joins reports — the identical floating-point summation
+// order as the historical Joins()-slice fold, without the slice allocation.
 func PlanCost(c OperatorCoster, root *plan.Node) (OpCost, error) {
-	var total OpCost
-	for _, j := range root.Joins() {
-		oc, err := c.CostOperator(j)
-		if err != nil {
-			return OpCost{}, err
-		}
-		total = total.Add(oc)
+	return planCost(c, root, OpCost{})
+}
+
+func planCost(c OperatorCoster, n *plan.Node, acc OpCost) (OpCost, error) {
+	if n == nil || n.IsScan() {
+		return acc, nil
 	}
-	return total, nil
+	acc, err := planCost(c, n.Left, acc)
+	if err != nil {
+		return OpCost{}, err
+	}
+	acc, err = planCost(c, n.Right, acc)
+	if err != nil {
+		return OpCost{}, err
+	}
+	oc, err := c.CostOperator(n)
+	if err != nil {
+		return OpCost{}, err
+	}
+	return acc.Add(oc), nil
 }
 
 // Result is the outcome of query planning.
@@ -69,55 +82,72 @@ type Planner interface {
 	Plan(q *plan.Query) (*Result, error)
 }
 
+// TreeScratch holds the reusable buffers of the random-tree and mutation
+// paths: the component worklist, the joinable-pair list and the join-node
+// list the mutation target is drawn from. A zero TreeScratch is ready to
+// use; it grows to the working-set size once and is then allocation-free
+// across calls. Not safe for concurrent use — the randomized planner keeps
+// one per restart worker.
+type TreeScratch struct {
+	comps []*plan.Node
+	pairs [][2]int
+	joins []*plan.Node
+}
+
 // RandomTree builds a uniformly random bushy join tree for the query: it
 // repeatedly joins two random joinable connected components with a random
 // operator implementation. Used to seed the randomized planner.
 func RandomTree(rng *rand.Rand, q *plan.Query) (*plan.Node, error) {
-	comps := make([]*plan.Node, len(q.Rels))
-	for i, r := range q.Rels {
+	var ts TreeScratch
+	return ts.RandomTree(rng, q)
+}
+
+// RandomTree is the buffer-reusing form of the package-level RandomTree.
+func (ts *TreeScratch) RandomTree(rng *rand.Rand, q *plan.Query) (*plan.Node, error) {
+	comps := ts.comps[:0]
+	for _, r := range q.Rels {
 		leaf, err := plan.NewScan(q.Schema, r)
 		if err != nil {
 			return nil, err
 		}
-		comps[i] = leaf
+		comps = append(comps, leaf)
 	}
 	for len(comps) > 1 {
 		// Collect joinable component pairs.
-		type pair struct{ a, b int }
-		var pairs []pair
+		pairs := ts.pairs[:0]
 		for i := 0; i < len(comps); i++ {
 			for j := i + 1; j < len(comps); j++ {
 				if componentsJoinable(q.Schema, comps[i], comps[j]) {
-					pairs = append(pairs, pair{i, j})
+					pairs = append(pairs, [2]int{i, j})
 				}
 			}
 		}
+		ts.pairs = pairs
 		if len(pairs) == 0 {
+			ts.comps = comps[:0]
 			return nil, fmt.Errorf("optimizer: query relations not connected")
 		}
 		p := pairs[rng.Intn(len(pairs))]
 		algo := plan.Algos[rng.Intn(len(plan.Algos))]
-		joined, err := plan.NewJoin(q.Schema, algo, comps[p.a], comps[p.b])
+		joined, err := plan.NewJoin(q.Schema, algo, comps[p[0]], comps[p[1]])
 		if err != nil {
+			ts.comps = comps[:0]
 			return nil, err
 		}
 		// Replace a, remove b.
-		comps[p.a] = joined
-		comps[p.b] = comps[len(comps)-1]
+		comps[p[0]] = joined
+		comps[p[1]] = comps[len(comps)-1]
 		comps = comps[:len(comps)-1]
 	}
-	return comps[0], nil
+	root := comps[0]
+	// Keep the grown buffer but drop the node reference.
+	comps[0] = nil
+	ts.comps = comps[:0]
+	return root, nil
 }
 
 func componentsJoinable(s *catalog.Schema, a, b *plan.Node) bool {
-	for _, x := range a.Relations() {
-		for _, y := range b.Relations() {
-			if s.Joinable(x, y) {
-				return true
-			}
-		}
-	}
-	return false
+	return plan.Joinable(s, a, b)
 }
 
 // Mutation is a local plan transformation used by randomized search.
@@ -140,7 +170,14 @@ var Mutations = []Mutation{Exchange, AssocLeft, AssocRight, FlipAlgo}
 // tree. ok is false when the chosen mutation is inapplicable at the chosen
 // node (the caller simply retries); the input tree is never modified.
 func Mutate(rng *rand.Rand, s *catalog.Schema, root *plan.Node) (*plan.Node, bool) {
-	joins := root.Joins()
+	var ts TreeScratch
+	return ts.Mutate(rng, s, root)
+}
+
+// Mutate is the buffer-reusing form of the package-level Mutate.
+func (ts *TreeScratch) Mutate(rng *rand.Rand, s *catalog.Schema, root *plan.Node) (*plan.Node, bool) {
+	joins := root.AppendJoins(ts.joins[:0])
+	ts.joins = joins
 	if len(joins) == 0 {
 		return nil, false
 	}

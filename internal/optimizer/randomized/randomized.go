@@ -125,9 +125,14 @@ func restartSeed(base int64, i int) int64 {
 
 // searchOnce runs one seeded local search — the original single-RNG
 // algorithm — and returns its archive and the number of candidates priced.
-// ctx is observed per seed plan and per archived-plan mutation batch.
+// ctx is observed per seed plan and per archived-plan mutation batch. The
+// random-tree and mutation buffers live in one TreeScratch per search, and
+// the per-iteration archive snapshot reuses a single growing buffer, so
+// the inner loop's slice traffic is amortized away.
 func (p *Planner) searchOnce(ctx context.Context, rng *rand.Rand, q *plan.Query, opts Options) ([]ParetoEntry, int, error) {
 	var archive []ParetoEntry
+	var ts optimizer.TreeScratch
+	var snapshot []ParetoEntry
 	considered := 0
 	insert := func(n *plan.Node) {
 		oc, err := optimizer.PlanCost(p.Coster, n)
@@ -142,7 +147,7 @@ func (p *Planner) searchOnce(ctx context.Context, rng *rand.Rand, q *plan.Query,
 		if err := ctx.Err(); err != nil {
 			return nil, considered, fmt.Errorf("randomized: search cancelled: %w", err)
 		}
-		t, err := optimizer.RandomTree(rng, q)
+		t, err := ts.RandomTree(rng, q)
 		if err != nil {
 			return nil, considered, err
 		}
@@ -153,13 +158,13 @@ func (p *Planner) searchOnce(ctx context.Context, rng *rand.Rand, q *plan.Query,
 	}
 
 	for it := 0; it < opts.Iterations; it++ {
-		snapshot := append([]ParetoEntry(nil), archive...)
+		snapshot = append(snapshot[:0], archive...)
 		for _, e := range snapshot {
 			if err := ctx.Err(); err != nil {
 				return nil, considered, fmt.Errorf("randomized: search cancelled: %w", err)
 			}
 			for m := 0; m < opts.MutationsPerPlan; m++ {
-				mut, ok := optimizer.Mutate(rng, q.Schema, e.Plan)
+				mut, ok := ts.Mutate(rng, q.Schema, e.Plan)
 				if !ok {
 					continue
 				}

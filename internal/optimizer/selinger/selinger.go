@@ -11,6 +11,14 @@
 // results merge back in ascending mask order, so the chosen plan — and the
 // PlansConsidered count — are bit-identical to the sequential run whenever
 // the coster is deterministic.
+//
+// The DP's working state — the best-plan table, per-level mask and result
+// buffers, per-worker join scratch nodes and the node arena the winning
+// sub-plans are materialized in — lives in a sync.Pool of dpState values,
+// so repeated planning calls allocate near-zero: candidates are costed in
+// reusable scratch nodes, only per-mask winners are materialized (in the
+// arena), and the final plan is deep-copied out before the state is
+// recycled.
 package selinger
 
 import (
@@ -30,6 +38,11 @@ import (
 // for the randomized planner (the paper uses Selinger on TPC-H and the
 // randomized planner for the 100-table scaling experiments).
 const MaxRelations = 22
+
+// sliceTableMax is the largest relation count for which the DP table is a
+// dense mask-indexed slice (2^n entries); beyond it the table falls back
+// to a map to avoid multi-megabyte slabs for the rare huge query.
+const sliceTableMax = 16
 
 // Planner is a Selinger-style left-deep query planner.
 type Planner struct {
@@ -54,6 +67,102 @@ type entry struct {
 	cost optimizer.OpCost
 }
 
+// candidate is the outcome of costing every (subset, algo) pair for one
+// mask: a recipe for the winning join, recorded by value so workers never
+// materialize plan nodes. The winner is rebuilt in the arena at merge
+// time.
+type candidate struct {
+	rest uint32 // mask of the left (smaller-subset) input
+	leaf int    // index of the right input relation
+	algo plan.JoinAlgo
+	res  plan.Resources
+	cost optimizer.OpCost // cumulative cost of the subtree
+	ok   bool
+}
+
+// dpState is the reusable working memory of one Plan call.
+type dpState struct {
+	arena    plan.Arena
+	leaves   []*plan.Node
+	slice    []entry // dense table, mask-indexed (n <= sliceTableMax)
+	m        map[uint32]entry
+	useSlice bool
+	level    []uint32 // masks of the current DP level, ascending
+	results  []candidate
+	scratch  []*plan.JoinScratch
+}
+
+var statePool = sync.Pool{New: func() any { return new(dpState) }}
+
+// prepare sizes the table for an n-relation query and clears any previous
+// run's entries (dpState.release drops the node pointers; the table cells
+// themselves are cleared here, bounded to the 2^n cells this query uses).
+func (st *dpState) prepare(n int) {
+	if n <= sliceTableMax {
+		size := 1 << uint(n)
+		if cap(st.slice) < size {
+			st.slice = make([]entry, size)
+		} else {
+			st.slice = st.slice[:size]
+			for i := range st.slice {
+				st.slice[i] = entry{}
+			}
+		}
+		st.useSlice = true
+		return
+	}
+	if st.m == nil {
+		st.m = make(map[uint32]entry, 1<<12)
+	} else {
+		clear(st.m)
+	}
+	st.useSlice = false
+}
+
+// release recycles the arena and drops all plan-node pointers so a pooled
+// state never retains a previous query's plans.
+func (st *dpState) release() {
+	st.arena.Reset()
+	for i := range st.leaves {
+		st.leaves[i] = nil
+	}
+	st.leaves = st.leaves[:0]
+	if st.useSlice {
+		for i := range st.slice {
+			st.slice[i] = entry{}
+		}
+	} else if st.m != nil {
+		clear(st.m)
+	}
+	st.level = st.level[:0]
+	st.results = st.results[:0]
+}
+
+func (st *dpState) get(mask uint32) (entry, bool) {
+	if st.useSlice {
+		e := st.slice[mask]
+		return e, e.node != nil
+	}
+	e, ok := st.m[mask]
+	return e, ok
+}
+
+func (st *dpState) put(mask uint32, e entry) {
+	if st.useSlice {
+		st.slice[mask] = e
+		return
+	}
+	st.m[mask] = e
+}
+
+// scratchFor returns w independent join-scratch nodes.
+func (st *dpState) scratchFor(w int) []*plan.JoinScratch {
+	for len(st.scratch) < w {
+		st.scratch = append(st.scratch, &plan.JoinScratch{})
+	}
+	return st.scratch[:w]
+}
+
 func (p *Planner) workers() int {
 	w := p.Workers
 	if w < 0 {
@@ -66,20 +175,22 @@ func (p *Planner) workers() int {
 }
 
 // bestFor prices every (subset, join-algo) candidate for one mask, reading
-// only entries of strictly smaller subsets from best. It preserves the
-// sequential DP's candidate order and strict-improvement tie-breaking, so
-// the winner is independent of which worker runs it.
-func (p *Planner) bestFor(mask uint32, best map[uint32]*entry, leaves []*plan.Node, q *plan.Query, considered *int64) *entry {
-	var bestE *entry
+// only entries of strictly smaller subsets from the table. Candidates are
+// built in the caller's scratch node and only the winning recipe is
+// recorded, so no plan nodes are allocated. It preserves the sequential
+// DP's candidate order and strict-improvement tie-breaking, so the winner
+// is independent of which worker runs it.
+func (p *Planner) bestFor(st *dpState, mask uint32, q *plan.Query, sc *plan.JoinScratch, considered *int64) candidate {
+	var best candidate
 	for sub := mask; sub != 0; sub &= sub - 1 {
 		i := bits.TrailingZeros32(sub)
 		rest := mask &^ (1 << uint(i))
-		prev, ok := best[rest]
+		prev, ok := st.get(rest)
 		if !ok {
 			continue // disconnected prefix
 		}
 		for _, algo := range plan.Algos {
-			j, err := plan.NewJoin(q.Schema, algo, prev.node, leaves[i])
+			j, err := sc.Join(q.Schema, algo, prev.node, st.leaves[i])
 			if err != nil {
 				continue // cross product: relation i not joinable with rest
 			}
@@ -89,12 +200,41 @@ func (p *Planner) bestFor(mask uint32, best map[uint32]*entry, leaves []*plan.No
 			}
 			*considered++
 			total := prev.cost.Add(oc)
-			if bestE == nil || total.Seconds < bestE.cost.Seconds {
-				bestE = &entry{node: j, cost: total}
+			if !best.ok || total.Seconds < best.cost.Seconds {
+				best = candidate{rest: rest, leaf: i, algo: algo, res: j.Res, cost: total, ok: true}
 			}
 		}
 	}
-	return bestE
+	return best
+}
+
+// materialize rebuilds one winning candidate in the arena and records it
+// in the table. Single-threaded: only the merge path calls it.
+func (p *Planner) materialize(st *dpState, mask uint32, c candidate, q *plan.Query) error {
+	prev, ok := st.get(c.rest)
+	if !ok {
+		return fmt.Errorf("selinger: internal: winner for %b references missing subset %b", mask, c.rest)
+	}
+	j, err := st.arena.Join(q.Schema, c.algo, prev.node, st.leaves[c.leaf])
+	if err != nil {
+		return fmt.Errorf("selinger: internal: rebuilding winner for %b: %w", mask, err)
+	}
+	j.Res = c.res
+	st.put(mask, entry{node: j, cost: c.cost})
+	return nil
+}
+
+// levelMasks fills st.level with the masks of one subset size in ascending
+// order (Gosper's hack), matching the sequential enumeration order.
+func (st *dpState) levelMasks(size int, full uint32) []uint32 {
+	st.level = st.level[:0]
+	for m := uint64(1)<<uint(size) - 1; m <= uint64(full); {
+		st.level = append(st.level, uint32(m))
+		c := m & -m
+		r := m + c
+		m = (((r ^ m) >> 2) / c) | r
+	}
+	return st.level
 }
 
 // Plan runs the DP and returns the cheapest (by time) left-deep plan.
@@ -106,77 +246,84 @@ func (p *Planner) Plan(q *plan.Query) (*optimizer.Result, error) {
 	if n > MaxRelations {
 		return nil, fmt.Errorf("selinger: %d relations exceeds the DP limit of %d; use the randomized planner", n, MaxRelations)
 	}
-	leaves := make([]*plan.Node, n)
-	for i, r := range q.Rels {
-		leaf, err := plan.NewScan(q.Schema, r)
+
+	st := statePool.Get().(*dpState)
+	defer func() {
+		st.release()
+		statePool.Put(st)
+	}()
+	st.prepare(n)
+	for _, r := range q.Rels {
+		leaf, err := st.arena.Scan(q.Schema, r)
 		if err != nil {
 			return nil, err
 		}
-		leaves[i] = leaf
+		st.leaves = append(st.leaves, leaf)
 	}
-
-	best := make(map[uint32]*entry, 1<<uint(n))
 	for i := 0; i < n; i++ {
-		best[1<<uint(i)] = &entry{node: leaves[i]}
+		st.put(1<<uint(i), entry{node: st.leaves[i]})
 	}
 	var considered int64
-
-	// Group masks by subset size, ascending within each level — the
-	// sequential iteration order.
-	full := uint32(1)<<uint(n) - 1
-	bySize := make([][]uint32, n+1)
-	for mask := uint32(1); mask <= full; mask++ {
-		if s := bits.OnesCount32(mask); s >= 2 {
-			bySize[s] = append(bySize[s], mask)
-		}
-	}
 
 	ctx := p.Ctx
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	workers := p.workers()
+	full := uint32(1)<<uint(n) - 1
 	for size := 2; size <= n; size++ {
-		masks := bySize[size]
+		masks := st.levelMasks(size, full)
 		if w := workers; w > 1 && len(masks) > 1 {
-			if err := p.runLevel(ctx, masks, best, leaves, q, w, &considered); err != nil {
+			if err := p.runLevel(ctx, st, masks, q, w, &considered); err != nil {
 				return nil, err
 			}
 			continue
 		}
+		sc := st.scratchFor(1)[0]
 		for _, mask := range masks {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("selinger: planning cancelled: %w", err)
 			}
-			if e := p.bestFor(mask, best, leaves, q, &considered); e != nil {
-				best[mask] = e
+			if c := p.bestFor(st, mask, q, sc, &considered); c.ok {
+				if err := p.materialize(st, mask, c, q); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
-	e, ok := best[full]
+	e, ok := st.get(full)
 	if !ok {
 		return nil, fmt.Errorf("selinger: no feasible plan for %v", q.Rels)
 	}
-	return &optimizer.Result{Plan: e.node, Cost: e.cost, PlansConsidered: int(considered)}, nil
+	// The winning tree lives in the pooled arena; deep-copy it out before
+	// the deferred release recycles the storage.
+	return &optimizer.Result{Plan: e.node.Clone(), Cost: e.cost, PlansConsidered: int(considered)}, nil
 }
 
 // runLevel fans one DP level's masks across a worker pool. Workers only
-// read best (entries of smaller subsets) and write disjoint slots of a
-// per-level result slice; the merge back into best is single-threaded and
-// in ascending mask order, keeping the table identical to a sequential run.
-// Cancellation is checked before each claimed mask; a cancelled level
-// returns ctx's error without merging, since the table would be partial.
-func (p *Planner) runLevel(ctx context.Context, masks []uint32, best map[uint32]*entry, leaves []*plan.Node, q *plan.Query, workers int, considered *int64) error {
+// read table entries of smaller subsets and write disjoint slots of the
+// per-level candidate buffer; the merge back into the table is
+// single-threaded and in ascending mask order, keeping the table identical
+// to a sequential run. Cancellation is checked before each claimed mask; a
+// cancelled level returns ctx's error without merging, since the table
+// would be partial.
+func (p *Planner) runLevel(ctx context.Context, st *dpState, masks []uint32, q *plan.Query, workers int, considered *int64) error {
 	if workers > len(masks) {
 		workers = len(masks)
 	}
-	results := make([]*entry, len(masks))
+	if cap(st.results) < len(masks) {
+		st.results = make([]candidate, len(masks))
+	} else {
+		st.results = st.results[:len(masks)]
+	}
+	results := st.results
+	scratch := st.scratchFor(workers)
 	var next atomic.Int64
 	var total atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(sc *plan.JoinScratch) {
 			defer wg.Done()
 			var local int64
 			for {
@@ -184,19 +331,21 @@ func (p *Planner) runLevel(ctx context.Context, masks []uint32, best map[uint32]
 				if i >= len(masks) || ctx.Err() != nil {
 					break
 				}
-				results[i] = p.bestFor(masks[i], best, leaves, q, &local)
+				results[i] = p.bestFor(st, masks[i], q, sc, &local)
 			}
 			total.Add(local)
-		}()
+		}(scratch[w])
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("selinger: planning cancelled: %w", err)
 	}
 	*considered += total.Load()
-	for i, e := range results {
-		if e != nil {
-			best[masks[i]] = e
+	for i, c := range results {
+		if c.ok {
+			if err := p.materialize(st, masks[i], c, q); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,149 @@
+package plan
+
+import (
+	"fmt"
+
+	"raqo/internal/catalog"
+)
+
+// This file provides the zero-allocation construction paths the planners'
+// hot loops use: an Arena that hands out reusable Node storage in chunks,
+// and a JoinScratch that re-initializes one Node in place for
+// cost-and-discard candidate evaluation. Both recompute the same
+// statistics as NewScan/NewJoin — plans built through them are
+// indistinguishable from heap-constructed ones except for lifetime:
+// arena nodes are valid only until the next Reset, and anything that
+// outlives the arena must be deep-copied out with Clone.
+
+// arenaChunk is the node count of one arena slab. Chunks are fixed-size
+// so handed-out *Node pointers never move when the arena grows.
+const arenaChunk = 64
+
+// arenaRelChunk is the minimum capacity of one relation-name slab.
+const arenaRelChunk = 1024
+
+// Arena allocates plan nodes (and their relation lists) from reusable
+// slabs. Reset recycles every outstanding node at once while keeping the
+// slabs, so a planner that builds thousands of DP entries per call
+// allocates only on its first use. An Arena is not safe for concurrent
+// use.
+type Arena struct {
+	chunks [][]Node // fixed-size slabs; pointers into them are stable
+	ci     int      // chunk currently being carved
+	used   int      // nodes handed out of chunks[ci]
+	rels   []string // current relation-name slab, carved by length
+}
+
+// Reset recycles all nodes previously allocated from the arena. Their
+// storage is reused by subsequent allocations, so callers must have
+// Clone()d any tree that outlives the arena.
+func (a *Arena) Reset() {
+	a.ci, a.used = 0, 0
+	a.rels = a.rels[:0]
+}
+
+// alloc carves one zeroed node out of the current slab.
+func (a *Arena) alloc() *Node {
+	if a.ci < len(a.chunks) && a.used == arenaChunk {
+		a.ci++
+		a.used = 0
+	}
+	if a.ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]Node, arenaChunk))
+	}
+	n := &a.chunks[a.ci][a.used]
+	a.used++
+	n.reset()
+	return n
+}
+
+// relSpace returns a zero-length slice with capacity for need relation
+// names, carved from the current slab. When a slab fills, the arena
+// abandons it for a fresh one; previously returned slices keep pointing
+// into the old slab, which stays alive for as long as they do.
+func (a *Arena) relSpace(need int) []string {
+	if cap(a.rels)-len(a.rels) < need {
+		size := arenaRelChunk
+		if need > size {
+			size = need
+		}
+		a.rels = make([]string, 0, size)
+	}
+	start := len(a.rels)
+	return a.rels[start:start]
+}
+
+// commitRels records that merged (carved via relSpace) is now in use.
+func (a *Arena) commitRels(merged []string) {
+	a.rels = a.rels[:len(a.rels)+len(merged)]
+}
+
+// Scan builds a scan leaf in the arena, equivalent to NewScan.
+func (a *Arena) Scan(s *catalog.Schema, table string) (*Node, error) {
+	t, ok := s.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("plan: unknown table %q", table)
+	}
+	n := a.alloc()
+	n.Table = table
+	n.rows = float64(t.Rows)
+	n.bytes = float64(t.Size())
+	rl := append(a.relSpace(1), table)
+	a.commitRels(rl)
+	n.rels = rl
+	return n, nil
+}
+
+// Join builds a join node in the arena, equivalent to NewJoin but
+// returning the bare sentinel errors (ErrOverlap, ErrCrossProduct) on
+// rejected candidates so the planner's skip path stays allocation-free.
+func (a *Arena) Join(s *catalog.Schema, algo JoinAlgo, left, right *Node) (*Node, error) {
+	merged, err := mergeRelsInto(a.relSpace(len(left.rels)+len(right.rels)), left.rels, right.rels)
+	if err != nil {
+		return nil, err
+	}
+	rows, bytes, err := joinStats(s, left, right)
+	if err != nil {
+		return nil, err
+	}
+	a.commitRels(merged)
+	n := a.alloc()
+	n.Algo = algo
+	n.Left, n.Right = left, right
+	n.rows, n.bytes = rows, bytes
+	n.rels = merged
+	return n, nil
+}
+
+// JoinScratch re-initializes a single join node in place, for hot loops
+// that build a candidate, cost it, and either discard it or copy the
+// few values worth keeping. The returned node aliases the scratch: it is
+// valid only until the next Join call, and must never be linked into a
+// tree that outlives it. Not safe for concurrent use; parallel planners
+// use one JoinScratch per worker.
+type JoinScratch struct {
+	n    Node
+	rels []string
+}
+
+// Join points the scratch node at a join of left and right, equivalent
+// to NewJoin but reusing the scratch's storage. Rejected candidates
+// return the bare sentinel errors (ErrOverlap, ErrCrossProduct).
+func (sc *JoinScratch) Join(s *catalog.Schema, algo JoinAlgo, left, right *Node) (*Node, error) {
+	merged, err := mergeRelsInto(sc.rels[:0], left.rels, right.rels)
+	if err != nil {
+		return nil, err
+	}
+	sc.rels = merged
+	rows, bytes, err := joinStats(s, left, right)
+	if err != nil {
+		return nil, err
+	}
+	n := &sc.n
+	n.reset()
+	n.Algo = algo
+	n.Left, n.Right = left, right
+	n.rows, n.bytes = rows, bytes
+	n.rels = merged
+	return n, nil
+}

@@ -5,12 +5,29 @@
 package plan
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sort"
+	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"raqo/internal/catalog"
+	"raqo/internal/intern"
 	"raqo/internal/units"
+)
+
+// Sentinel errors for the candidate-rejection paths of join construction.
+// The planners treat a failed join candidate as control flow (skip the
+// candidate), so these are returned un-wrapped by the zero-allocation
+// constructors (Arena.Join, JoinScratch.Join); NewJoin wraps them with
+// the relation context for human-facing callers.
+var (
+	// ErrCrossProduct reports a join whose sides share no join-graph edge.
+	ErrCrossProduct = errors.New("plan: cross product join")
+	// ErrOverlap reports a join whose sides cover a common relation.
+	ErrOverlap = errors.New("plan: relation appears on both join sides")
 )
 
 // JoinAlgo is a physical join operator implementation. The paper studies
@@ -126,6 +143,36 @@ type Node struct {
 	rows  float64
 	bytes float64
 	rels  []string // sorted relations covered by this subtree
+
+	// sig caches Signature(). A node's shape (table, algo, children,
+	// statistics) is immutable after construction — only Res mutates — so
+	// the shape signature is cached unconditionally once computed.
+	sig atomic.Pointer[string]
+	// sigRes caches SignatureWithResources() together with a fingerprint
+	// of the resource annotations it was computed under; mutating any Res
+	// in the subtree changes the fingerprint and invalidates the cache.
+	sigRes atomic.Pointer[resSignature]
+}
+
+// resSignature is a cached SignatureWithResources with the resource
+// fingerprint it is valid for.
+type resSignature struct {
+	fp uint64
+	s  string
+}
+
+// reset returns the node to its zero state for reuse by an Arena or
+// JoinScratch. Fields are cleared individually because the atomic cache
+// pointers make Node non-copyable.
+func (n *Node) reset() {
+	n.Table = ""
+	n.Algo = 0
+	n.Left, n.Right = nil, nil
+	n.Res = Resources{}
+	n.rows, n.bytes = 0, 0
+	n.rels = nil
+	n.sig.Store(nil)
+	n.sigRes.Store(nil)
 }
 
 // NewScan builds a scan leaf for the named table.
@@ -150,10 +197,28 @@ func NewJoin(s *catalog.Schema, algo JoinAlgo, left, right *Node) (*Node, error)
 	if left == nil || right == nil {
 		return nil, fmt.Errorf("plan: nil join input")
 	}
-	rels, err := mergeRels(left.rels, right.rels)
+	rels, err := mergeRelsInto(make([]string, 0, len(left.rels)+len(right.rels)), left.rels, right.rels)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("plan: relations of %v and %v: %w", left.rels, right.rels, err)
 	}
+	rows, bytes, err := joinStats(s, left, right)
+	if err != nil {
+		return nil, fmt.Errorf("plan: cross product between %v and %v: %w", left.rels, right.rels, err)
+	}
+	return &Node{
+		Algo:  algo,
+		Left:  left,
+		Right: right,
+		rows:  rows,
+		bytes: bytes,
+		rels:  rels,
+	}, nil
+}
+
+// joinStats estimates the output cardinality and size of joining two
+// subtrees: |L|·|R|·∏(selectivities of join-graph edges crossing the two
+// sides). It returns ErrCrossProduct when no edge crosses the sides.
+func joinStats(s *catalog.Schema, left, right *Node) (rows, bytes float64, err error) {
 	sel := 1.0
 	crossing := 0
 	for _, a := range left.rels {
@@ -165,9 +230,9 @@ func NewJoin(s *catalog.Schema, algo JoinAlgo, left, right *Node) (*Node, error)
 		}
 	}
 	if crossing == 0 {
-		return nil, fmt.Errorf("plan: cross product between %v and %v", left.rels, right.rels)
+		return 0, 0, ErrCrossProduct
 	}
-	rows := left.rows * right.rows * sel
+	rows = left.rows * right.rows * sel
 	if rows < 1 {
 		rows = 1
 	}
@@ -175,34 +240,43 @@ func NewJoin(s *catalog.Schema, algo JoinAlgo, left, right *Node) (*Node, error)
 	if left.rows > 0 && right.rows > 0 {
 		width = left.bytes/left.rows + right.bytes/right.rows
 	}
-	return &Node{
-		Algo:  algo,
-		Left:  left,
-		Right: right,
-		rows:  rows,
-		bytes: rows * width,
-		rels:  rels,
-	}, nil
+	return rows, rows * width, nil
 }
 
-func mergeRels(a, b []string) ([]string, error) {
-	out := make([]string, 0, len(a)+len(b))
+// mergeRelsInto merges two sorted, disjoint relation lists into dst
+// (typically dst[:0] of a reused buffer), returning ErrOverlap when the
+// sides share a relation.
+func mergeRelsInto(dst []string, a, b []string) ([]string, error) {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
 		case a[i] == b[j]:
-			return nil, fmt.Errorf("plan: relation %q appears on both join sides", a[i])
+			return nil, ErrOverlap
 		case a[i] < b[j]:
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 		default:
-			out = append(out, b[j])
+			dst = append(dst, b[j])
 			j++
 		}
 	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out, nil
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst, nil
+}
+
+// Joinable reports whether any relation covered by a is joinable (shares a
+// join-graph edge) with any relation covered by b — without allocating, in
+// contrast to walking the copies Relations returns.
+func Joinable(s *catalog.Schema, a, b *Node) bool {
+	for _, x := range a.rels {
+		for _, y := range b.rels {
+			if s.Joinable(x, y) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // IsScan reports whether the node is a table scan.
@@ -254,50 +328,108 @@ func (n *Node) LargerInputGB() float64 {
 
 // Joins appends all join nodes of the subtree in post-order (children before
 // parents) — the order in which stages execute.
-func (n *Node) Joins() []*Node {
-	var out []*Node
-	var walk func(*Node)
-	walk = func(m *Node) {
-		if m == nil || m.IsScan() {
-			return
-		}
-		walk(m.Left)
-		walk(m.Right)
-		out = append(out, m)
+func (n *Node) Joins() []*Node { return n.AppendJoins(nil) }
+
+// AppendJoins appends the subtree's join nodes to dst in post-order and
+// returns the extended slice. Passing a reused buffer (dst[:0]) makes the
+// walk allocation-free — the hot-path form of Joins.
+func (n *Node) AppendJoins(dst []*Node) []*Node {
+	if n == nil || n.IsScan() {
+		return dst
 	}
-	walk(n)
-	return out
+	dst = n.Left.AppendJoins(dst)
+	dst = n.Right.AppendJoins(dst)
+	return append(dst, n)
 }
 
-// Clone deep-copies the plan tree, including resource annotations.
+// Clone deep-copies the plan tree, including resource annotations. Cached
+// signatures carry over: the clone has the same shape, and the resource
+// signature stays fingerprint-guarded.
 func (n *Node) Clone() *Node {
 	if n == nil {
 		return nil
 	}
-	c := *n
+	c := &Node{
+		Table: n.Table,
+		Algo:  n.Algo,
+		Res:   n.Res,
+		rows:  n.rows,
+		bytes: n.bytes,
+	}
 	c.Left = n.Left.Clone()
 	c.Right = n.Right.Clone()
 	rels := make([]string, len(n.rels))
 	copy(rels, n.rels)
 	c.rels = rels
-	return &c
+	c.sig.Store(n.sig.Load())
+	c.sigRes.Store(n.sigRes.Load())
+	return c
 }
 
 // Signature returns a canonical string identifying the plan's logical and
 // physical shape (join order + operator implementations), ignoring resource
 // annotations. Two plans with equal signatures are the same plan.
+//
+// The string is computed once per node (shape is immutable after
+// construction) and interned, so repeated calls on hot paths neither
+// rebuild nor re-allocate it.
 func (n *Node) Signature() string {
+	if p := n.sig.Load(); p != nil {
+		return *p
+	}
 	var b strings.Builder
 	n.writeSig(&b, false)
-	return b.String()
+	s := intern.String(b.String())
+	n.sig.Store(&s)
+	return s
 }
 
 // SignatureWithResources is Signature but also distinguishing the resource
 // annotations, used by tests and the adaptive re-optimizer.
+//
+// The string is cached against a fingerprint of the subtree's resource
+// annotations: re-annotating any operator (the one mutable field of a
+// node) invalidates the cache, while repeated calls on an unchanged plan
+// return the interned string without rebuilding it.
 func (n *Node) SignatureWithResources() string {
+	fp := n.resFingerprint(14695981039346656037)
+	if p := n.sigRes.Load(); p != nil && p.fp == fp {
+		return p.s
+	}
 	var b strings.Builder
 	n.writeSig(&b, true)
-	return b.String()
+	s := intern.String(b.String())
+	n.sigRes.Store(&resSignature{fp: fp, s: s})
+	return s
+}
+
+// resFingerprint folds the subtree's resource annotations (and enough
+// shape to anchor them to positions) into an FNV-1a hash.
+func (n *Node) resFingerprint(h uint64) uint64 {
+	const prime = 1099511628211
+	if n == nil {
+		return (h ^ 0x2e) * prime
+	}
+	if n.IsScan() {
+		h = (h ^ 0x73) * prime
+		return h
+	}
+	h = (h ^ uint64(n.Algo) ^ 0x4a) * prime
+	h = mix64(h, uint64(n.Res.Containers))
+	h = mix64(h, floatBits(n.Res.ContainerGB))
+	h = n.Left.resFingerprint(h)
+	h = n.Right.resFingerprint(h)
+	return h
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+func mix64(h, v uint64) uint64 {
+	const prime = 1099511628211
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v >> (8 * i) & 0xff)) * prime
+	}
+	return h
 }
 
 func (n *Node) writeSig(b *strings.Builder, withRes bool) {
@@ -307,7 +439,11 @@ func (n *Node) writeSig(b *strings.Builder, withRes bool) {
 	}
 	b.WriteString(n.Algo.String())
 	if withRes && !n.Res.IsZero() {
-		fmt.Fprintf(b, "@%s", n.Res)
+		b.WriteByte('@')
+		b.WriteString(strconv.Itoa(n.Res.Containers))
+		b.WriteByte('x')
+		b.WriteString(strconv.FormatFloat(n.Res.ContainerGB, 'f', -1, 64))
+		b.WriteString("GB")
 	}
 	b.WriteByte('(')
 	n.Left.writeSig(b, withRes)

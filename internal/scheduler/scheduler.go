@@ -87,6 +87,12 @@ type Scheduler struct {
 	Pricing cost.Pricing
 	// Optimizer is consulted by the Reoptimize policy; required for it.
 	Optimizer *core.Optimizer
+	// Reopt, when set, answers Reoptimize submissions through the
+	// incremental re-optimization engine instead of a from-scratch joint
+	// optimization: repeated conditions hit its exact memo and small
+	// restrictions patch-validate the cached plan, with answers provably
+	// bit-identical to planning from scratch. It must wrap Optimizer.
+	Reopt *core.Incremental
 	// DrainRate approximates how fast queued-for resources free up, in
 	// containers per second, when the Wait policy must queue a job.
 	DrainRate float64
@@ -118,30 +124,41 @@ func (s *Scheduler) record(root *plan.Node, predictedSeconds float64, predictedM
 }
 
 // MaxRequested returns the largest per-stage request of a plan — the gang
-// size a FIFO cluster must free before the plan can start.
+// size a FIFO cluster must free before the plan can start. It walks the
+// tree directly (no operator-slice allocation): it sits on the arbiter's
+// per-admission hot path.
 func MaxRequested(p *plan.Node) plan.Resources {
 	var max plan.Resources
-	for _, j := range p.Joins() {
-		if j.Res.Containers > max.Containers {
-			max.Containers = j.Res.Containers
-		}
-		if j.Res.ContainerGB > max.ContainerGB {
-			max.ContainerGB = j.Res.ContainerGB
-		}
-	}
+	maxRequested(p, &max)
 	return max
+}
+
+func maxRequested(n *plan.Node, max *plan.Resources) {
+	if n == nil || n.IsScan() {
+		return
+	}
+	maxRequested(n.Left, max)
+	maxRequested(n.Right, max)
+	if n.Res.Containers > max.Containers {
+		max.Containers = n.Res.Containers
+	}
+	if n.Res.ContainerGB > max.ContainerGB {
+		max.ContainerGB = n.Res.ContainerGB
+	}
 }
 
 // Fits reports whether every stage's request is satisfiable under the
 // available conditions. Exported so the workload arbiter applies the same
-// admission predicate the one-shot scheduler does.
+// admission predicate the one-shot scheduler does. Like MaxRequested it
+// recurses instead of materializing the operator list.
 func Fits(p *plan.Node, avail cluster.Conditions) bool {
-	for _, j := range p.Joins() {
-		if j.Res.Containers > avail.MaxContainers || j.Res.ContainerGB > avail.MaxContainerGB+1e-9 {
-			return false
-		}
+	if p == nil || p.IsScan() {
+		return true
 	}
-	return true
+	if p.Res.Containers > avail.MaxContainers || p.Res.ContainerGB > avail.MaxContainerGB+1e-9 {
+		return false
+	}
+	return Fits(p.Left, avail) && Fits(p.Right, avail)
 }
 
 // Submit schedules a joint plan under the currently available conditions
@@ -201,10 +218,16 @@ func (s *Scheduler) Submit(q *plan.Query, submitted *plan.Node, avail cluster.Co
 		if q == nil {
 			return nil, fmt.Errorf("scheduler: Reoptimize policy needs the logical query")
 		}
-		if err := s.Optimizer.SetConditions(avail); err != nil {
-			return nil, err
+		var d *core.Decision
+		var err error
+		if s.Reopt != nil {
+			d, _, err = s.Reopt.Optimize(q, avail)
+		} else {
+			if err := s.Optimizer.SetConditions(avail); err != nil {
+				return nil, err
+			}
+			d, err = s.Optimizer.Optimize(q)
 		}
-		d, err := s.Optimizer.Optimize(q)
 		if err != nil {
 			return nil, err
 		}

@@ -90,6 +90,13 @@ type ArbiterStatsResponse struct {
 	Recals         int64   `json:"recalibrations"`
 	FreeContainers int     `json:"freeContainers"`
 	HeldGB         float64 `json:"heldGB"`
+	// Incremental re-optimization answer sources: from-scratch plans,
+	// exact-conditions memo hits, patch-validated reuses, and failed patch
+	// attempts that fell back to a full plan.
+	ReoptFull     int64 `json:"reoptFull"`
+	ReoptExact    int64 `json:"reoptExact"`
+	ReoptPatched  int64 `json:"reoptPatched"`
+	ReoptFallback int64 `json:"reoptFallback"`
 }
 
 // NewArbiterStatsResponse converts an arbiter stats snapshot.
@@ -110,6 +117,10 @@ func NewArbiterStatsResponse(st arbiter.Stats) ArbiterStatsResponse {
 		Recals:         st.Recals,
 		FreeContainers: st.FreeContainers,
 		HeldGB:         st.HeldGB,
+		ReoptFull:      st.ReoptFull,
+		ReoptExact:     st.ReoptExact,
+		ReoptPatched:   st.ReoptPatched,
+		ReoptFallback:  st.ReoptFallback,
 	}
 }
 

@@ -1,0 +1,90 @@
+#!/bin/sh
+# Capture CPU and allocation profiles of the serving hot path: start
+# `raqo serve` with its dedicated -pprof listener, drive a seeded storm
+# of /v1/optimize and /v1/submit requests while the CPU profile records,
+# then fetch the allocation profile. Profiles land in profiles/ as
+# cpu_hotpath.pb.gz and allocs_hotpath.pb.gz, ready for `go tool pprof`.
+#
+#   PROFILE_SECONDS=10 sh scripts/profile_hotpath.sh
+#
+# Exits non-zero on any failure.
+set -eu
+
+GO=${GO:-go}
+SECONDS_CPU=${PROFILE_SECONDS:-10}
+outdir=${PROFILE_DIR:-profiles}
+tmp=$(mktemp -d)
+out="$tmp/serve.out"
+pid=""
+stormpid=""
+trap 'if [ -n "${stormpid:-}" ]; then kill "$stormpid" 2>/dev/null || true; fi; if [ -n "${pid:-}" ]; then kill "$pid" 2>/dev/null || true; fi; rm -rf "$tmp"' EXIT INT TERM
+
+"$GO" build -o "$tmp/raqo" ./cmd/raqo
+
+"$tmp/raqo" serve -addr 127.0.0.1:0 -pprof 127.0.0.1:0 >"$out" 2>&1 &
+pid=$!
+
+addr=""
+pprof=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^raqo serve: listening on \([^ ]*\).*/\1/p' "$out")
+    pprof=$(sed -n 's/^raqo serve: pprof on \([^ ]*\).*/\1/p' "$out")
+    [ -n "$addr" ] && [ -n "$pprof" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "profile-hotpath: server died at startup:"; cat "$out"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] && [ -n "$pprof" ] || { echo "profile-hotpath: server never reported its addresses:"; cat "$out"; exit 1; }
+
+# Warm the caches so the profile shows steady state, not first-request
+# model training and cache fills.
+for q in Q12 Q3 Q2 All; do
+    curl -fsS -o /dev/null -X POST "http://$addr/v1/optimize" -d "{\"query\":\"$q\"}"
+done
+
+# The submit storm: a deterministic round-robin over queries and
+# policies, looping until the CPU profile window closes. Every request
+# exercises planning (optimize) or arbitration + incremental
+# re-optimization (submit).
+storm() {
+    i=0
+    while :; do
+        case $((i % 4)) in
+            0) q=Q12 ;;
+            1) q=Q3 ;;
+            2) q=Q2 ;;
+            3) q=All ;;
+        esac
+        case $((i % 3)) in
+            0) curl -fsS -o /dev/null -X POST "http://$addr/v1/optimize" -d "{\"query\":\"$q\"}" || return 0 ;;
+            1) curl -fsS -o /dev/null -X POST "http://$addr/v1/submit" -d "{\"query\":\"$q\"}" || return 0 ;;
+            2) curl -fsS -o /dev/null -X POST "http://$addr/v1/submit" -d "{\"query\":\"$q\",\"policy\":\"wait\"}" || return 0 ;;
+        esac
+        i=$((i + 1))
+    done
+}
+storm &
+stormpid=$!
+
+mkdir -p "$outdir"
+echo "profile-hotpath: recording ${SECONDS_CPU}s CPU profile under load ($addr)..."
+curl -fsS -o "$outdir/cpu_hotpath.pb.gz" "http://$pprof/debug/pprof/profile?seconds=$SECONDS_CPU"
+curl -fsS -o "$outdir/allocs_hotpath.pb.gz" "http://$pprof/debug/pprof/allocs"
+
+kill "$stormpid" 2>/dev/null || true
+wait "$stormpid" 2>/dev/null || true
+stormpid=""
+
+kill -TERM "$pid"
+i=0
+while kill -0 "$pid" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "profile-hotpath: server did not drain after SIGTERM"; exit 1; }
+    sleep 0.1
+done
+pid=""
+
+for f in cpu_hotpath.pb.gz allocs_hotpath.pb.gz; do
+    [ -s "$outdir/$f" ] || { echo "profile-hotpath: $outdir/$f is empty"; exit 1; }
+done
+echo "profile-hotpath: wrote $outdir/cpu_hotpath.pb.gz and $outdir/allocs_hotpath.pb.gz"
+echo "profile-hotpath: inspect with: $GO tool pprof $outdir/cpu_hotpath.pb.gz"
