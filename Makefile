@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json bench-serve-json bench-lint-json bench-feedback bench-arbiter bench-hotpath alloc-check smoke smoke-feedback smoke-arbiter lint lint-fix-check
+.PHONY: check fmt vet build test race bench bench-json bench-serve-json bench-lint-json bench-feedback bench-arbiter bench-hotpath bench-history alloc-check smoke smoke-feedback smoke-arbiter smoke-history lint lint-fix-check
 
-check: fmt vet build lint lint-fix-check race alloc-check bench smoke smoke-feedback smoke-arbiter
+check: fmt vet build lint lint-fix-check race alloc-check bench smoke smoke-feedback smoke-arbiter smoke-history
 
 # Fail when any file needs gofmt.
 fmt:
@@ -72,6 +72,12 @@ bench-arbiter:
 bench-hotpath:
 	RAQO_BENCH_JSON=1 $(GO) test -run TestWriteHotpathBenchJSON .
 
+# Record the history store's ingest/query numbers (with allocs_per_op)
+# in BENCH_history.json. The recording test also enforces the acceptance
+# floor: warm append at >=1M points/s with 0 allocs/op.
+bench-history:
+	RAQO_BENCH_JSON=1 $(GO) test -run TestWriteHistoryBenchJSON .
+
 # End-to-end smoke test: start `raqo serve` on an ephemeral port, hit
 # /healthz and /v1/optimize, then check the SIGTERM drain.
 smoke:
@@ -87,3 +93,9 @@ smoke-feedback:
 # the reoptimize and wait policies, verify stats/drain/metrics.
 smoke-arbiter:
 	sh scripts/smoke_arbiter.sh
+
+# End-to-end crash-safety smoke test for the history store: serve with
+# -history-dir, ingest feedback, kill -9 the server, restart on the same
+# dir and verify the acknowledged points survived and query correctly.
+smoke-history:
+	sh scripts/smoke_history.sh

@@ -1,0 +1,262 @@
+// Benchmarks and allocation gate for the embedded history store: warm
+// append throughput (the telemetry gather loop and feedback recorder
+// both stream through Append/Record), commit-inclusive sustained ingest,
+// and rollup-backed range queries over day-scale data. Run the timings
+// with:
+//
+//	go test -bench History -benchtime=0.2s .
+//
+// RAQO_BENCH_JSON=1 go test -run TestWriteHistoryBenchJSON records the
+// numbers in BENCH_history.json.
+package raqo_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"raqo/internal/history"
+)
+
+// benchHistoryStore opens a store in a per-test temp dir with a segment
+// size large enough that ingest benchmarks measure append+commit, not
+// seal churn.
+func benchHistoryStore(tb testing.TB) *history.Store {
+	tb.Helper()
+	st, err := history.Open(tb.TempDir(), history.Config{SegmentMaxBytes: 64 << 20})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { st.Close() })
+	return st
+}
+
+// benchHistorySeries registers n series on the store.
+func benchHistorySeries(tb testing.TB, st *history.Store, n int) []*history.Series {
+	tb.Helper()
+	out := make([]*history.Series, n)
+	for i := range out {
+		s, err := st.Series(fmt.Sprintf("bench.series.%02d", i))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TestHistoryAppendAllocFree pins the acceptance bar on the ingest hot
+// path: once the staging buffer has grown, Append is a 20-byte copy and
+// must not allocate at all. (Rollup folding happens at Commit, off this
+// path by design.)
+func TestHistoryAppendAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector adds allocations; the gate holds on plain builds only")
+	}
+	if testing.Short() {
+		t.Skip("alloc gate is not meaningful under -short")
+	}
+	st := benchHistoryStore(t)
+	series := benchHistorySeries(t, st, 1)
+	s := series[0]
+
+	// Warm the staging buffer past what the measured runs will stage, then
+	// Commit: the length resets, the capacity stays.
+	const runs = 100_000
+	for i := 0; i < 2*runs; i++ {
+		st.Append(s, int64(i), 1.5)
+	}
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	var ts int64 = 1 << 20
+	if got := testing.AllocsPerRun(runs, func() {
+		ts++
+		st.Append(s, ts, 1.5)
+	}); got > 0 {
+		t.Errorf("warm Append allocates %.2f/op, ceiling 0", got)
+	}
+}
+
+// BenchmarkHistoryAppend times the pure staging path: one point into the
+// warm buffer. This is the per-point cost the gather loop pays inline.
+func BenchmarkHistoryAppend(b *testing.B) {
+	st := benchHistoryStore(b)
+	s := benchHistorySeries(b, st, 1)[0]
+	for i := 0; i < 1<<16; i++ {
+		st.Append(s, int64(i), 1.5)
+	}
+	if err := st.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Append(s, int64(i), 1.5)
+		if i&0xffff == 0xffff { // bound staging memory; cap stays warm
+			if err := st.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkHistoryIngest times sustained ingest end to end: 64 series
+// sampled once per virtual second, one durable Commit (checksummed block
+// write plus rollup fold) every 256 ticks — the serving gather cadence
+// scaled down. One op is one point, so ops/sec is points/sec.
+func BenchmarkHistoryIngest(b *testing.B) {
+	st := benchHistoryStore(b)
+	series := benchHistorySeries(b, st, 64)
+	// Warm: one full commit cycle grows the staging buffer and the
+	// first-minute rollup buckets.
+	ts := int64(0)
+	for i := 0; i < 256*len(series); i++ {
+		st.Append(series[i%len(series)], ts, float64(i&15))
+	}
+	if err := st.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	commitEvery := 256 * len(series)
+	for i := 0; i < b.N; i++ {
+		k := i % len(series)
+		if k == 0 {
+			ts++
+		}
+		st.Append(series[k], ts, float64(i&15))
+		if (i+1)%commitEvery == 0 {
+			if err := st.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	if err := st.Commit(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchHistoryQueryStore builds a committed store holding 48 virtual
+// hours of once-a-minute samples on 8 series — the day-scale shape the
+// long-horizon detector queries.
+func benchHistoryQueryStore(tb testing.TB) *history.Store {
+	tb.Helper()
+	st := benchHistoryStore(tb)
+	series := benchHistorySeries(tb, st, 8)
+	for ts := int64(0); ts < 48*3600; ts += 60 {
+		for i, s := range series {
+			st.Append(s, ts, float64((ts/60+int64(i))%97)/10)
+		}
+	}
+	if err := st.Commit(); err != nil {
+		tb.Fatal(err)
+	}
+	return st
+}
+
+// BenchmarkHistoryQueryRollup times an hour-step range query over the
+// full 48h span — answered from the 1h rollup level, never the raw
+// points.
+func BenchmarkHistoryQueryRollup(b *testing.B) {
+	st := benchHistoryQueryStore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := st.Query("bench.series.00", 0, 48*3600, 3600)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 48 {
+			b.Fatalf("got %d buckets, want 48", len(rows))
+		}
+	}
+}
+
+// BenchmarkHistoryQuantileRange times the long-horizon detector's
+// baseline read: one p90 over a 24h window, folded from rollup sketches.
+func BenchmarkHistoryQuantileRange(b *testing.B) {
+	st := benchHistoryQueryStore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, n, err := st.QuantileRange("bench.series.00", 0, 24*3600, 0.9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 || v <= 0 {
+			b.Fatalf("empty quantile: v=%v n=%d", v, n)
+		}
+	}
+}
+
+// TestWriteHistoryBenchJSON records the history-store numbers in
+// BENCH_history.json. Gated behind RAQO_BENCH_JSON=1 because it runs
+// the suite via testing.Benchmark.
+func TestWriteHistoryBenchJSON(t *testing.T) {
+	if os.Getenv("RAQO_BENCH_JSON") == "" {
+		t.Skip("set RAQO_BENCH_JSON=1 to record BENCH_history.json")
+	}
+	type entry struct {
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		OpsPerSec   float64 `json:"ops_per_sec"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+	}
+	var entries []entry
+	record := func(name string, fn func(b *testing.B)) entry {
+		r := testing.Benchmark(fn)
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		e := entry{
+			Name:        name,
+			NsPerOp:     ns,
+			OpsPerSec:   1e9 / ns,
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		entries = append(entries, e)
+		return e
+	}
+	appendE := record("HistoryAppend/warm", BenchmarkHistoryAppend)
+	ingestE := record("HistoryIngest/series=64,commit=16k", BenchmarkHistoryIngest)
+	record("HistoryQueryRollup/span=48h,step=1h", BenchmarkHistoryQueryRollup)
+	record("HistoryQuantileRange/span=24h,p90", BenchmarkHistoryQuantileRange)
+
+	// The acceptance bar rides along with the recording: warm append must
+	// sustain at least 1M points/s without allocating.
+	if appendE.OpsPerSec < 1e6 {
+		t.Errorf("warm append sustains %.0f points/s, acceptance floor 1e6", appendE.OpsPerSec)
+	}
+	if appendE.AllocsPerOp > 0 {
+		t.Errorf("warm append allocates %d/op, want 0", appendE.AllocsPerOp)
+	}
+	if ingestE.OpsPerSec < 1e6 {
+		t.Errorf("commit-inclusive ingest sustains %.0f points/s, acceptance floor 1e6", ingestE.OpsPerSec)
+	}
+
+	report := struct {
+		GoMaxProcs int     `json:"gomaxprocs"`
+		NumCPU     int     `json:"num_cpu"`
+		Note       string  `json:"note"`
+		Benchmarks []entry `json:"benchmarks"`
+	}{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Note: "Embedded history store (internal/history): warm zero-alloc append " +
+			"staging, sustained ingest with durable commits every 16k points " +
+			"across 64 series, and rollup-backed range/quantile queries over " +
+			"48 virtual hours. One op is one point on the ingest benchmarks.",
+		Benchmarks: entries,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_history.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_history.json with %d benchmarks", len(entries))
+}

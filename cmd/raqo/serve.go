@@ -60,6 +60,11 @@ func parseServeFlags(args []string) (*serveSettings, error) {
 	requestTimeout := fs.Duration("request-timeout", 30*time.Second, "max planning time per request")
 	trained := fs.Bool("trained", true, "train cost models on the simulator (false = paper coefficients)")
 	journal := fs.String("journal", "", "append execution feedback to this JSONL journal")
+	journalMaxBytes := fs.Int64("journal-max-bytes", 0, "rotate the feedback journal at this size (0 = never)")
+	journalMaxFiles := fs.Int("journal-max-files", 0, "rotated journal files to keep, oldest pruned (0 = all)")
+	historyDir := fs.String("history-dir", "", "persist telemetry and feedback series to a history store in this directory")
+	historyRetention := fs.Duration("history-retention", 0, "raw history segment retention (0 = store default; rollups retain longer)")
+	historyInterval := fs.Duration("history-interval", 0, "telemetry gather period into the history store (0 = 10s, negative disables)")
 	feedbackCap := fs.Int("feedback-capacity", 0, "in-memory feedback ring capacity (0 = default)")
 	driftThreshold := fs.Float64("drift-threshold", 0, "relative-error quantile that declares model drift (0 = default)")
 	driftQuantile := fs.Float64("drift-quantile", 0, "error quantile the drift detector watches (0 = default)")
@@ -103,6 +108,8 @@ func parseServeFlags(args []string) (*serveSettings, error) {
 			QueueTimeout:     *queueWait,
 			RequestTimeout:   *requestTimeout,
 			JournalPath:      *journal,
+			JournalMaxBytes:  *journalMaxBytes,
+			JournalMaxFiles:  *journalMaxFiles,
 			FeedbackCapacity: *feedbackCap,
 			Drift: feedback.DriftConfig{
 				Threshold:  *driftThreshold,
@@ -110,8 +117,11 @@ func parseServeFlags(args []string) (*serveSettings, error) {
 				Window:     *driftWindow,
 				MinSamples: *driftMinSamples,
 			},
-			RecalInterval:   *recalInterval,
-			ArbiterCapacity: *arbCapacity,
+			RecalInterval:    *recalInterval,
+			HistoryDir:       *historyDir,
+			HistoryRetention: int64(*historyRetention / time.Second),
+			HistoryInterval:  *historyInterval,
+			ArbiterCapacity:  *arbCapacity,
 		},
 	}, nil
 }

@@ -77,6 +77,12 @@ type Config struct {
 	// Feedback, when set, receives every completion at its virtual finish
 	// time — the online-ingestion channel into model recalibration.
 	Feedback *feedback.Observer
+	// History, when set, receives per-completion queue and execution times
+	// (series "arbiter.queue_seconds.<tenant>" and
+	// "arbiter.exec_seconds.<tenant>") stamped with the virtual finish
+	// time, so days-long simulated workloads build days of durable history
+	// deterministically. The caller owns committing the recorder.
+	History feedback.Recorder
 	// RecalEvery asks the feedback recalibrator to check for drift every
 	// N completions (0 disables). Wire Recal.OnSwap to Optimizer.SetModels
 	// so re-optimizations see the recalibrated models.
@@ -430,9 +436,15 @@ func (a *Arbiter) advanceTo(t float64) error {
 	return nil
 }
 
-// recordFeedback reports one completion to the feedback observer and
-// periodically offers the recalibrator a drift check.
+// recordFeedback reports one completion to the history recorder and the
+// feedback observer, and periodically offers the recalibrator a drift
+// check. Everything is stamped with the virtual finish time.
 func (a *Arbiter) recordFeedback(run *running) error {
+	at := int64(run.out.Finish)
+	if h := a.cfg.History; h != nil {
+		h.Record("arbiter.queue_seconds."+run.out.Tenant, at, run.out.QueueSeconds)
+		h.Record("arbiter.exec_seconds."+run.out.Tenant, at, run.out.ExecSeconds)
+	}
 	ob := a.cfg.Feedback
 	if ob == nil {
 		return nil
@@ -449,7 +461,7 @@ func (a *Arbiter) recordFeedback(run *running) error {
 	}
 	// Best-effort, like the one-shot scheduler: a rejected observation is
 	// dropped, not fatal.
-	_, _ = ob.Record(a.cfg.Engine.Name, run.root, predicted, money, run.res)
+	_, _ = ob.RecordAt(at, a.cfg.Engine.Name, run.root, predicted, money, run.res)
 	a.sinceRecal++
 	if a.cfg.RecalEvery > 0 && a.sinceRecal >= a.cfg.RecalEvery {
 		a.sinceRecal = 0

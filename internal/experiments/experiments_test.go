@@ -24,7 +24,7 @@ func TestFigureRegistryComplete(t *testing.T) {
 	ids := FigureIDs()
 	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15a", "fig15b",
-		"feedback", "arbiter"}
+		"feedback", "arbiter", "history"}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)
 	}
@@ -32,6 +32,29 @@ func TestFigureRegistryComplete(t *testing.T) {
 		if ids[i] != want[i] {
 			t.Fatalf("order: got %v, want %v", ids, want)
 		}
+	}
+}
+
+// TestHistoryReportDeterministic runs the long-horizon history report
+// twice: it must self-assert cleanly and render identically — everything
+// in it derives from the seeded virtual workload, never the host.
+func TestHistoryReportDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full virtual workload")
+	}
+	a, err := HistoryObservability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HistoryObservability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("history report not deterministic:\n%s\n---\n%s", a, b)
+	}
+	if len(a.Tables) != 4 {
+		t.Fatalf("tables = %d, want 4", len(a.Tables))
 	}
 }
 

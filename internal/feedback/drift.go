@@ -3,6 +3,7 @@ package feedback
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -114,6 +115,9 @@ type Detector struct {
 
 	mu      sync.Mutex
 	windows map[classKey]*window
+	rec     Recorder
+	hist    SeriesQuantiler
+	lhCfg   LongHorizonConfig
 }
 
 // NewDetector builds a drift detector (zero-value fields in cfg select the
@@ -125,16 +129,91 @@ func NewDetector(cfg DriftConfig) *Detector {
 // Config returns the effective (defaulted) configuration.
 func (d *Detector) Config() DriftConfig { return d.cfg }
 
+// SetRecorder streams every error sample the detector sees into rec
+// (series named by RelErrSeries, timestamped by Observation.ObservedAt).
+// A history store here is what feeds the long-horizon mode.
+func (d *Detector) SetRecorder(rec Recorder) {
+	d.mu.Lock()
+	d.rec = rec
+	d.mu.Unlock()
+}
+
+// SetHistory enables history-backed long-horizon drift detection against
+// the given quantile source (zero-value cfg selects the documented
+// defaults).
+func (d *Detector) SetHistory(q SeriesQuantiler, cfg LongHorizonConfig) {
+	d.mu.Lock()
+	d.hist = q
+	d.lhCfg = cfg.withDefaults()
+	d.mu.Unlock()
+}
+
+// SeriesLister enumerates stored series (satisfied by history.Store);
+// when the long-horizon quantile source also implements it, the detector
+// checks every persisted error series, including classes observed only
+// before the last restart.
+type SeriesLister interface {
+	SeriesNames() []string
+}
+
+// LongHorizonStats compares recent against day-scale baseline error
+// quantiles per class as of `now` (unix seconds, caller's clock — wall or
+// virtual). Returns nil when SetHistory has not been called.
+func (d *Detector) LongHorizonStats(now int64) ([]LongHorizonStat, error) {
+	d.mu.Lock()
+	hist, cfg := d.hist, d.lhCfg
+	names := make([]string, 0, len(d.windows))
+	for k := range d.windows {
+		names = append(names, RelErrSeries(k.engine, k.class))
+	}
+	d.mu.Unlock()
+	if hist == nil {
+		return nil, nil
+	}
+	if lister, ok := hist.(SeriesLister); ok {
+		names = names[:0]
+		for _, name := range lister.SeriesNames() {
+			if strings.HasPrefix(name, RelErrSeriesPrefix) {
+				names = append(names, name)
+			}
+		}
+	}
+	sort.Strings(names)
+	return LongHorizon(hist, names, now, cfg)
+}
+
+// LongHorizonDrifted reports whether any class drifted against its
+// long-horizon baseline as of `now`.
+func (d *Detector) LongHorizonDrifted(now int64) (bool, error) {
+	stats, err := d.LongHorizonStats(now)
+	if err != nil {
+		return false, err
+	}
+	for _, s := range stats {
+		if s.Drifted {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
 // Observe feeds one observation's operator samples into the per-class
 // windows. The query-level prediction error is tracked under the pseudo
 // class "query" so drift is detectable even for observations without
-// operator detail.
+// operator detail. With a recorder attached, every sample also streams
+// into its RelErrSeries at the observation's ObservedAt timestamp.
 func (d *Detector) Observe(o Observation) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.push(classKey{o.Engine, "query"}, relError(o.PredictedSeconds, o.ObservedSeconds))
+	if d.rec != nil {
+		d.rec.Record(RelErrSeries(o.Engine, "query"), o.ObservedAt, o.RelError())
+	}
 	for _, s := range o.Operators {
 		d.push(classKey{o.Engine, s.Algo}, s.RelError())
+		if d.rec != nil {
+			d.rec.Record(RelErrSeries(o.Engine, s.Algo), o.ObservedAt, s.RelError())
+		}
 	}
 }
 

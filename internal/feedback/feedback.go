@@ -32,6 +32,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"raqo/internal/cost"
@@ -68,13 +72,18 @@ func (s OperatorSample) Profile() (cost.Profile, error) {
 // promised versus what the engine delivered, plus the per-operator samples
 // that make the evidence trainable.
 type Observation struct {
-	Signature        string           `json:"signature"` // plan signature (with resources)
-	Engine           string           `json:"engine"`    // e.g. "hive", "spark"
-	PredictedSeconds float64          `json:"predictedSeconds"`
-	ObservedSeconds  float64          `json:"observedSeconds"`
-	PredictedDollars float64          `json:"predictedDollars"`
-	ObservedDollars  float64          `json:"observedDollars"`
-	Operators        []OperatorSample `json:"operators,omitempty"`
+	Signature        string  `json:"signature"` // plan signature (with resources)
+	Engine           string  `json:"engine"`    // e.g. "hive", "spark"
+	PredictedSeconds float64 `json:"predictedSeconds"`
+	ObservedSeconds  float64 `json:"observedSeconds"`
+	PredictedDollars float64 `json:"predictedDollars"`
+	ObservedDollars  float64 `json:"observedDollars"`
+	// ObservedAt is when the execution finished, in unix seconds — wall
+	// time in the server, virtual time under the arbiter's clock. It keys
+	// the observation into the history store; 0 means "not timestamped"
+	// (accepted for backward compatibility with old journals).
+	ObservedAt int64            `json:"observedAt,omitempty"`
+	Operators  []OperatorSample `json:"operators,omitempty"`
 }
 
 // RelError is the query-level relative prediction error |pred-obs|/obs.
@@ -228,26 +237,58 @@ func (s *Store) Profiles() []cost.Profile {
 // observation per line, in append order. Replaying the file through a
 // fresh store and recalibrator reproduces the exact model state (see the
 // determinism test), which is also what `raqo calibrate` does offline.
+//
+// With rotation enabled (JournalConfig.MaxBytes > 0) the active file is
+// renamed to `<path>.<n>` once it grows past the limit — n counting up, so
+// lexicographically-later numbered files are newer — and a fresh active
+// file is started. ReadJournal replays the numbered files oldest first and
+// the active file last, so rotation never changes replay order. MaxFiles
+// bounds how many rotated files are kept; pruning deletes the oldest
+// evidence first, mirroring the in-memory ring's overwrite policy.
 type Journal struct {
 	mu   sync.Mutex
 	path string
 	f    *os.File
 	w    *bufio.Writer
+	size int64
+	cfg  JournalConfig
 }
 
-// OpenJournal opens (creating if needed) a journal file for appending.
+// JournalConfig tunes journal rotation. The zero value disables it.
+type JournalConfig struct {
+	// MaxBytes rotates the active file once appending would grow it past
+	// this size; 0 never rotates.
+	MaxBytes int64
+	// MaxFiles bounds the number of rotated files kept (the active file is
+	// not counted); 0 keeps every rotation.
+	MaxFiles int
+}
+
+// OpenJournal opens (creating if needed) a journal file for appending,
+// without rotation.
 func OpenJournal(path string) (*Journal, error) {
+	return OpenJournalConfig(path, JournalConfig{})
+}
+
+// OpenJournalConfig opens a journal with the given rotation policy.
+func OpenJournalConfig(path string, cfg JournalConfig) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("feedback: open journal: %w", err)
 	}
-	return &Journal{path: path, f: f, w: bufio.NewWriter(f)}, nil
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("feedback: open journal: %w", err)
+	}
+	return &Journal{path: path, f: f, w: bufio.NewWriter(f), size: info.Size(), cfg: cfg}, nil
 }
 
 // Path returns the journal's file path.
 func (j *Journal) Path() string { return j.path }
 
-// Append writes one observation as a JSON line and flushes it.
+// Append writes one observation as a JSON line and flushes it, rotating
+// first if the line would push the active file past the size limit.
 func (j *Journal) Append(o Observation) error {
 	b, err := json.Marshal(o)
 	if err != nil {
@@ -258,13 +299,79 @@ func (j *Journal) Append(o Observation) error {
 	if j.f == nil {
 		return fmt.Errorf("feedback: journal %s is closed", j.path)
 	}
+	if j.cfg.MaxBytes > 0 && j.size > 0 && j.size+int64(len(b))+1 > j.cfg.MaxBytes {
+		if err := j.rotateLocked(); err != nil {
+			return err
+		}
+	}
 	if _, err := j.w.Write(append(b, '\n')); err != nil {
 		return fmt.Errorf("feedback: journal write: %w", err)
 	}
 	if err := j.w.Flush(); err != nil {
 		return fmt.Errorf("feedback: journal flush: %w", err)
 	}
+	j.size += int64(len(b)) + 1
 	return nil
+}
+
+// rotateLocked renames the active file to the next numbered slot, prunes
+// rotated files beyond MaxFiles (oldest first) and starts a fresh active
+// file.
+func (j *Journal) rotateLocked() error {
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("feedback: journal flush: %w", err)
+	}
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("feedback: journal close: %w", err)
+	}
+	j.f = nil
+	nums, err := rotatedJournalNums(j.path)
+	if err != nil {
+		return err
+	}
+	next := 1
+	if len(nums) > 0 {
+		next = nums[len(nums)-1] + 1
+	}
+	if err := os.Rename(j.path, fmt.Sprintf("%s.%d", j.path, next)); err != nil {
+		return fmt.Errorf("feedback: journal rotate: %w", err)
+	}
+	nums = append(nums, next)
+	if j.cfg.MaxFiles > 0 {
+		for len(nums) > j.cfg.MaxFiles {
+			if err := os.Remove(fmt.Sprintf("%s.%d", j.path, nums[0])); err != nil {
+				return fmt.Errorf("feedback: journal prune: %w", err)
+			}
+			nums = nums[1:]
+		}
+	}
+	f, err := os.OpenFile(j.path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("feedback: journal rotate: %w", err)
+	}
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	j.size = 0
+	return nil
+}
+
+// rotatedJournalNums lists the numeric suffixes of path's rotated files,
+// ascending (oldest rotation first).
+func rotatedJournalNums(path string) ([]int, error) {
+	matches, err := filepath.Glob(path + ".*")
+	if err != nil {
+		return nil, fmt.Errorf("feedback: journal glob: %w", err)
+	}
+	var nums []int
+	for _, m := range matches {
+		n, err := strconv.Atoi(strings.TrimPrefix(m, path+"."))
+		if err != nil || n < 1 {
+			continue // unrelated file sharing the prefix
+		}
+		nums = append(nums, n)
+	}
+	sort.Ints(nums)
+	return nums, nil
 }
 
 // Close flushes and closes the journal file.
@@ -283,16 +390,32 @@ func (j *Journal) Close() error {
 	return closeErr
 }
 
-// ReadJournal replays a journal file into observations, in append order.
-// Invalid lines fail the replay: a journal is written only through
-// Append, so corruption is worth surfacing, not skipping.
+// ReadJournal replays a journal into observations, in append order: any
+// rotated files (`<path>.<n>`) oldest first, then the active file. Invalid
+// lines fail the replay: a journal is written only through Append, so
+// corruption is worth surfacing, not skipping.
 func ReadJournal(path string) ([]Observation, error) {
+	nums, err := rotatedJournalNums(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []Observation
+	for _, n := range nums {
+		out, err = readJournalFile(fmt.Sprintf("%s.%d", path, n), out)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return readJournalFile(path, out)
+}
+
+// readJournalFile appends one journal file's observations to out.
+func readJournalFile(path string, out []Observation) ([]Observation, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("feedback: read journal: %w", err)
 	}
 	defer f.Close()
-	var out []Observation
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	line := 0

@@ -1,0 +1,162 @@
+package feedback
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Recorder receives timestamped scalar samples. internal/history's Store
+// satisfies it structurally (Record stages a point on a name-keyed
+// series); defining the interface here keeps feedback free of a history
+// import, and history free of any repo import at all.
+type Recorder interface {
+	Record(series string, ts int64, value float64)
+}
+
+// SeriesQuantiler is the read side the long-horizon mode needs from a
+// history store: a quantile over a series' rollup sketches, plus how many
+// points backed it. internal/history's Store satisfies it structurally.
+type SeriesQuantiler interface {
+	QuantileRange(series string, from, to int64, q float64) (value float64, n int64, err error)
+}
+
+// RelErrSeriesPrefix prefixes the per-(engine, class) relative-error
+// series the Detector records; the suffix is "<engine>.<class>".
+const RelErrSeriesPrefix = "feedback.relerr."
+
+// RelErrSeries names the history series holding one (engine, operator
+// class) window's relative prediction errors.
+func RelErrSeries(engine, class string) string {
+	return RelErrSeriesPrefix + engine + "." + class
+}
+
+// splitRelErrSeries inverts RelErrSeries; ok is false for foreign names.
+func splitRelErrSeries(series string) (engine, class string, ok bool) {
+	rest, found := strings.CutPrefix(series, RelErrSeriesPrefix)
+	if !found {
+		return "", "", false
+	}
+	engine, class, found = strings.Cut(rest, ".")
+	return engine, class, found && engine != "" && class != ""
+}
+
+// LongHorizonConfig tunes history-backed drift detection: instead of one
+// in-memory window of recent samples, it compares the recent error
+// quantile of each (engine, class) series against a day-scale baseline
+// read from the history rollups — catching slow drift that never spikes
+// hard enough to trip the windowed detector, which is exactly the regime
+// the paper's re-optimization loop is meant for. Zero fields select the
+// documented defaults.
+type LongHorizonConfig struct {
+	// RecentWindow is how many trailing seconds count as "now"; 0 selects
+	// DefaultRecentWindow (1h).
+	RecentWindow int64
+	// BaselineWindow is how many seconds of history immediately before the
+	// recent window form the baseline; 0 selects DefaultBaselineWindow
+	// (24h).
+	BaselineWindow int64
+	// Quantile in (0,1] is compared between the two windows; 0 selects
+	// DefaultLongHorizonQuantile (0.9 — drift shows in the tail first).
+	Quantile float64
+	// Factor is how many times the baseline quantile the recent quantile
+	// must exceed to flag drift; 0 selects DefaultLongHorizonFactor (2.0).
+	Factor float64
+	// MinError is an absolute floor on the recent quantile — tiny errors
+	// are never drift however small the baseline; 0 selects
+	// DefaultLongHorizonMinError (0.1 = 10% off).
+	MinError float64
+	// MinRecent / MinBaseline are the evidence floors (points per window)
+	// below which a class cannot flag; 0 selects 32 and 256.
+	MinRecent   int64
+	MinBaseline int64
+}
+
+// Long-horizon defaults: flag a class when its last hour's p90 relative
+// error is at least 10% and at least double the p90 of the preceding day.
+const (
+	DefaultRecentWindow        = 3600
+	DefaultBaselineWindow      = 24 * 3600
+	DefaultLongHorizonQuantile = 0.9
+	DefaultLongHorizonFactor   = 2.0
+	DefaultLongHorizonMinError = 0.1
+	DefaultMinRecent           = 32
+	DefaultMinBaseline         = 256
+)
+
+func (c LongHorizonConfig) withDefaults() LongHorizonConfig {
+	if c.RecentWindow <= 0 {
+		c.RecentWindow = DefaultRecentWindow
+	}
+	if c.BaselineWindow <= 0 {
+		c.BaselineWindow = DefaultBaselineWindow
+	}
+	if c.Quantile <= 0 || c.Quantile > 1 {
+		c.Quantile = DefaultLongHorizonQuantile
+	}
+	if c.Factor <= 0 {
+		c.Factor = DefaultLongHorizonFactor
+	}
+	if c.MinError <= 0 {
+		c.MinError = DefaultLongHorizonMinError
+	}
+	if c.MinRecent <= 0 {
+		c.MinRecent = DefaultMinRecent
+	}
+	if c.MinBaseline <= 0 {
+		c.MinBaseline = DefaultMinBaseline
+	}
+	return c
+}
+
+// LongHorizonStat is one (engine, class)'s long-horizon comparison.
+type LongHorizonStat struct {
+	Engine        string  `json:"engine"`
+	Class         string  `json:"class"`
+	RecentError   float64 `json:"recentError"`   // quantile over the recent window
+	BaselineError float64 `json:"baselineError"` // quantile over the baseline window
+	RecentN       int64   `json:"recentN"`
+	BaselineN     int64   `json:"baselineN"`
+	Drifted       bool    `json:"drifted"`
+}
+
+// LongHorizon compares each series' recent error quantile against its
+// day-scale baseline as of `now` (unix seconds, wall or virtual — the
+// caller owns the clock). Series that don't parse as RelErrSeries names
+// are skipped; results are sorted by (engine, class).
+func LongHorizon(q SeriesQuantiler, series []string, now int64, cfg LongHorizonConfig) ([]LongHorizonStat, error) {
+	cfg = cfg.withDefaults()
+	out := make([]LongHorizonStat, 0, len(series))
+	for _, name := range series {
+		engine, class, ok := splitRelErrSeries(name)
+		if !ok {
+			continue
+		}
+		recent, recentN, err := q.QuantileRange(name, now-cfg.RecentWindow, now, cfg.Quantile)
+		if err != nil {
+			return nil, fmt.Errorf("feedback: long-horizon %s: %w", name, err)
+		}
+		baseFrom := now - cfg.RecentWindow - cfg.BaselineWindow
+		base, baseN, err := q.QuantileRange(name, baseFrom, now-cfg.RecentWindow, cfg.Quantile)
+		if err != nil {
+			return nil, fmt.Errorf("feedback: long-horizon %s: %w", name, err)
+		}
+		out = append(out, LongHorizonStat{
+			Engine:        engine,
+			Class:         class,
+			RecentError:   recent,
+			BaselineError: base,
+			RecentN:       recentN,
+			BaselineN:     baseN,
+			Drifted: recentN >= cfg.MinRecent && baseN >= cfg.MinBaseline &&
+				recent >= cfg.MinError && recent > cfg.Factor*base,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Engine != out[j].Engine {
+			return out[i].Engine < out[j].Engine
+		}
+		return out[i].Class < out[j].Class
+	})
+	return out, nil
+}

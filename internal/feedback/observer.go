@@ -15,19 +15,38 @@ import (
 // always measures the model generation that was actually in charge.
 type Observer struct {
 	Recal *Recalibrator
+
+	// Now, when set, supplies the ObservedAt timestamp for every record,
+	// overriding the caller's value. The serving path pins arbiter
+	// completions to the wall clock this way, so a history store fed by
+	// both posted feedback and arbiter completions never mixes virtual and
+	// wall time. Simulated workloads leave it nil and virtual finish times
+	// flow through RecordAt unchanged.
+	Now func() int64
 }
 
 // Record builds an observation from an executed plan — predicted at the
 // query level by (predictedSeconds, predictedMoney), observed by the
 // execsim result — feeds it to the recalibrator, and returns it. Stages
 // whose operator has no model are skipped (they contribute no trainable
-// sample) rather than failing the record.
+// sample) rather than failing the record. The observation carries no
+// timestamp; use RecordAt when the completion time is known.
 func (ob *Observer) Record(engine string, root *plan.Node, predictedSeconds float64, predictedMoney units.Dollars, res *execsim.Result) (Observation, error) {
+	return ob.RecordAt(0, engine, root, predictedSeconds, predictedMoney, res)
+}
+
+// RecordAt is Record with an explicit completion timestamp (unix seconds,
+// wall or virtual — the arbiter stamps virtual finish times so days-long
+// simulated workloads build days of history deterministically).
+func (ob *Observer) RecordAt(at int64, engine string, root *plan.Node, predictedSeconds float64, predictedMoney units.Dollars, res *execsim.Result) (Observation, error) {
 	if ob.Recal == nil {
 		return Observation{}, fmt.Errorf("feedback: observer has no recalibrator")
 	}
 	if res == nil {
 		return Observation{}, fmt.Errorf("feedback: observer given nil execution result")
+	}
+	if ob.Now != nil {
+		at = ob.Now()
 	}
 	models := ob.Recal.Models()
 	o := Observation{
@@ -36,6 +55,7 @@ func (ob *Observer) Record(engine string, root *plan.Node, predictedSeconds floa
 		ObservedSeconds:  res.Seconds,
 		PredictedDollars: float64(predictedMoney),
 		ObservedDollars:  float64(res.Money),
+		ObservedAt:       at,
 	}
 	if root != nil {
 		o.Signature = root.SignatureWithResources()

@@ -1,0 +1,234 @@
+package history
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// recover rebuilds the store's in-memory state from disk after Open:
+// truncate torn tails, re-roll every surviving segment, fold the rollup
+// logs' aggregates for already-deleted segments into the persisted views,
+// and rewrite both logs compacted. Crash-safe at every step — the logs
+// are replaced atomically via rename, and a crash mid-recovery just means
+// the next Open redoes the same deterministic work.
+func (st *Store) recover() error {
+	// 1. Read the rollup logs, keeping aggregates grouped per segment so
+	// entries for segments that still exist (which are re-rolled from
+	// their raw points below) can be discarded without double counting.
+	logged := map[*level]map[uint64][]rollupEntry{}
+	for _, lv := range [2]*level{st.lv1m, st.lv1h} {
+		bySeg := make(map[uint64][]rollupEntry)
+		if _, err := os.Stat(lv.logPath); err == nil {
+			_, err := recoverFile(lv.logPath, rollupMagic, func(payload []byte) error {
+				segID, entries, err := decodeRollupBlock(payload)
+				if err != nil {
+					return err
+				}
+				bySeg[segID] = append(bySeg[segID], entries...)
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		} else if !os.IsNotExist(err) {
+			return fmt.Errorf("history: %w", err)
+		}
+		logged[lv] = bySeg
+	}
+
+	// 2. Recover every segment on disk: truncate torn tails, collect
+	// metadata, and recompute each segment's rollup contribution from its
+	// raw points (deterministic, so re-rolling an already-rolled segment
+	// reproduces the logged aggregates exactly).
+	paths, err := filepath.Glob(filepath.Join(st.dir, "seg-*.log"))
+	if err != nil {
+		return fmt.Errorf("history: %w", err)
+	}
+	sort.Strings(paths) // zero-padded ids: lexicographic == numeric
+	type segRoll struct {
+		meta segMeta
+		by1m map[bucketKey]*Bucket
+		by1h map[bucketKey]*Bucket
+	}
+	var segs []segRoll
+	for _, path := range paths {
+		var id uint64
+		if _, err := fmt.Sscanf(filepath.Base(path), "seg-%d.log", &id); err != nil {
+			return fmt.Errorf("history: unrecognized segment file %s", path)
+		}
+		sr := segRoll{
+			meta: segMeta{id: id, path: path},
+			by1m: make(map[bucketKey]*Bucket),
+			by1h: make(map[bucketKey]*Bucket),
+		}
+		res, err := scanPoints(path, func(sid uint32, ts int64, bits uint64) {
+			v := math.Float64frombits(bits)
+			if sr.meta.points == 0 {
+				sr.meta.minTs, sr.meta.maxTs = ts, ts
+			} else {
+				if ts < sr.meta.minTs {
+					sr.meta.minTs = ts
+				}
+				if ts > sr.meta.maxTs {
+					sr.meta.maxTs = ts
+				}
+			}
+			sr.meta.points++
+			bumpMap(sr.by1m, st.lv1m, sid, ts, v)
+			bumpMap(sr.by1h, st.lv1h, sid, ts, v)
+		})
+		if err != nil {
+			return err
+		}
+		if sr.meta.points == 0 {
+			// An interrupted create (or fully torn segment) holds no
+			// acknowledged data; drop the file.
+			if err := os.Remove(path); err != nil {
+				return fmt.Errorf("history: %w", err)
+			}
+			continue
+		}
+		sr.meta.bytes = res.goodLen
+		segs = append(segs, sr)
+		if id >= st.activeID {
+			st.activeID = id + 1
+		}
+		if sr.meta.maxTs > st.hwm {
+			st.hwm = sr.meta.maxTs
+		}
+		st.sealed = append(st.sealed, sr.meta)
+	}
+
+	// 3. Fold logged aggregates of segments no longer on disk (raw
+	// retention beat us to them) into per-level historic views, then
+	// rewrite each log compacted: one block of merged historic buckets
+	// plus one block per surviving segment.
+	exists := make(map[uint64]bool, len(segs))
+	for _, sr := range segs {
+		exists[sr.meta.id] = true
+	}
+	historics := make(map[*level]map[bucketKey]*Bucket)
+	for _, lv := range [2]*level{st.lv1m, st.lv1h} {
+		historic := make(map[bucketKey]*Bucket)
+		segIDs := make([]uint64, 0, len(logged[lv]))
+		for segID := range logged[lv] {
+			segIDs = append(segIDs, segID)
+		}
+		sort.Slice(segIDs, func(i, j int) bool { return segIDs[i] < segIDs[j] })
+		for _, segID := range segIDs {
+			if exists[segID] {
+				continue // superseded by the re-roll from raw points
+			}
+			for _, e := range logged[lv][segID] {
+				if b, ok := historic[e.key]; ok {
+					b.merge(e.b)
+				} else {
+					historic[e.key] = e.b
+				}
+			}
+		}
+		// Raw points of these buckets are gone; their bucket end bounds
+		// the high-water mark they imply.
+		//raqolint:ignore maprange loop only takes a max over the keys, which is order-free
+		for k := range historic {
+			if end := k.start + lv.width - 1; end > st.hwm {
+				st.hwm = end
+			}
+		}
+		historics[lv] = historic
+	}
+	for _, lv := range [2]*level{st.lv1m, st.lv1h} {
+		historic := historics[lv]
+		for _, k := range historicKeysFiltered(historic, lv, st.hwm) {
+			delete(historic, k)
+		}
+
+		tmp := lv.logPath + ".tmp"
+		f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("history: %w", err)
+		}
+		if err := writeMagic(f, rollupMagic); err != nil {
+			f.Close()
+			return fmt.Errorf("history: %w", err)
+		}
+		var hdr [blockHeaderLen]byte
+		if len(historic) > 0 {
+			if err := appendBlock(f, &hdr, encodeRollupBlock(compactedSegID, sortedEntries(historic))); err != nil {
+				f.Close()
+				return fmt.Errorf("history: %w", err)
+			}
+		}
+		for _, sr := range segs {
+			buckets := sr.by1m
+			if lv == st.lv1h {
+				buckets = sr.by1h
+			}
+			if len(buckets) == 0 {
+				continue
+			}
+			if err := appendBlock(f, &hdr, encodeRollupBlock(sr.meta.id, sortedEntries(buckets))); err != nil {
+				f.Close()
+				return fmt.Errorf("history: %w", err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("history: %w", err)
+		}
+		if err := os.Rename(tmp, lv.logPath); err != nil {
+			return fmt.Errorf("history: %w", err)
+		}
+
+		// In-memory persisted view = historic + every surviving segment.
+		lv.persisted = historic
+		for _, sr := range segs {
+			buckets := sr.by1m
+			if lv == st.lv1h {
+				buckets = sr.by1h
+			}
+			for _, e := range sortedEntries(buckets) {
+				lv.mergePersisted(e.key, e.b)
+			}
+			lv.rolled[sr.meta.id] = true
+		}
+		if err := st.openRollupLog(lv); err != nil {
+			return err
+		}
+	}
+
+	return st.retainLocked()
+}
+
+// historicKeysFiltered returns the keys of buckets that have aged out of
+// the level's retention (collected for deletion outside the range loop).
+func historicKeysFiltered(m map[bucketKey]*Bucket, lv *level, hwm int64) []bucketKey {
+	cutoff := hwm - lv.retention
+	var out []bucketKey
+	for k := range m {
+		if k.start+lv.width <= cutoff {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].sid != out[j].sid {
+			return out[i].sid < out[j].sid
+		}
+		return out[i].start < out[j].start
+	})
+	return out
+}
+
+// bumpMap folds a recovered point into a plain bucket map (the open-time
+// analogue of level.bump, without the per-series cache).
+func bumpMap(m map[bucketKey]*Bucket, lv *level, sid uint32, ts int64, v float64) {
+	k := bucketKey{sid, lv.bucketStart(ts)}
+	b := m[k]
+	if b == nil {
+		b = &Bucket{Start: k.start}
+		m[k] = b
+	}
+	b.add(v)
+}

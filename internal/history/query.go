@@ -1,0 +1,199 @@
+package history
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrUnknownSeries reports a query against a series the store has never
+// recorded; match with errors.Is.
+var ErrUnknownSeries = errors.New("unknown series")
+
+// Query returns series' aggregates over [from, to) at step-second
+// resolution, oldest first. The source resolution is chosen automatically:
+// steps under a minute scan raw segments, steps under an hour aggregate
+// the 1m rollups, anything coarser the 1h rollups (step is rounded up to
+// a multiple of the source width). Rollup-backed queries cannot split a
+// source bucket, so [from, to) widens outward to the source grid — a
+// partially covered minute or hour is included whole. Only committed
+// points are visible. Empty windows produce no bucket (rows are sparse,
+// not zero-filled).
+func (st *Store) Query(series string, from, to, step int64) ([]Bucket, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("history: step must be positive, got %d", step)
+	}
+	if to <= from {
+		return nil, fmt.Errorf("history: empty range [%d, %d)", from, to)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.byName[series]
+	if !ok {
+		return nil, fmt.Errorf("history: %w %q", ErrUnknownSeries, series)
+	}
+	if step < 60 {
+		return st.queryRaw(s.id, from, to, step)
+	}
+	lv := st.lv1m
+	if step >= 3600 {
+		lv = st.lv1h
+	}
+	if step%lv.width != 0 {
+		step = (step/lv.width + 1) * lv.width
+	}
+	return st.queryLevel(lv, s.id, from, to, step), nil
+}
+
+// queryLevel aggregates a rollup level's buckets (persisted + active
+// segment) into step-aligned output buckets. Sources are sorted before
+// merging: counts and extrema are order-free, but float sums are not
+// associative, and query output must be bit-stable across runs.
+func (st *Store) queryLevel(lv *level, sid uint32, from, to, step int64) []Bucket {
+	lo := alignDown(from, lv.width)
+	type row struct {
+		start int64
+		b     *Bucket
+	}
+	var rows []row
+	for k, b := range lv.persisted {
+		if k.sid == sid && k.start >= lo && k.start < to {
+			rows = append(rows, row{k.start, b})
+		}
+	}
+	for k, b := range lv.active {
+		if k.sid == sid && k.start >= lo && k.start < to {
+			rows = append(rows, row{k.start, b})
+		}
+	}
+	// Stable keeps persisted before active when both hold the same window
+	// (points straddling a seal), fixing one merge order.
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].start < rows[j].start })
+	out := make(map[int64]*Bucket)
+	for _, r := range rows {
+		start := alignDown(r.start, step)
+		o := out[start]
+		if o == nil {
+			o = &Bucket{Start: start}
+			out[start] = o
+		}
+		o.merge(r.b)
+	}
+	return sortBuckets(out)
+}
+
+// queryRaw scans the raw segments overlapping [from, to) and buckets the
+// points at step resolution.
+func (st *Store) queryRaw(sid uint32, from, to, step int64) ([]Bucket, error) {
+	out := make(map[int64]*Bucket)
+	fold := func(sidP uint32, ts int64, bits uint64) {
+		if sidP != sid || ts < from || ts >= to {
+			return
+		}
+		start := alignDown(ts, step)
+		o := out[start]
+		if o == nil {
+			o = &Bucket{Start: start}
+			out[start] = o
+		}
+		o.add(math.Float64frombits(bits))
+	}
+	for _, m := range st.sealed {
+		if m.maxTs < from || m.minTs >= to {
+			continue
+		}
+		// Sealed segments are immutable and were verified at seal/open
+		// time; scanBlocks (no truncation) keeps queries read-only.
+		if _, err := scanBlocksPoints(m.path, fold); err != nil {
+			return nil, err
+		}
+	}
+	if st.active != nil && st.activeCount > 0 && st.activeMax >= from && st.activeMin < to {
+		if _, err := scanBlocksPoints(st.activePath, fold); err != nil {
+			return nil, err
+		}
+	}
+	return sortBuckets(out), nil
+}
+
+// scanBlocksPoints is the read-only point scan used by queries (recovery
+// uses scanPoints, which additionally truncates torn tails).
+func scanBlocksPoints(path string, fn func(sid uint32, ts int64, bits uint64)) (scanResult, error) {
+	return scanBlocks(path, segMagic, func(payload []byte) error {
+		for off := 0; off+pointRecordLen <= len(payload); off += pointRecordLen {
+			fn(uint32FromLE(payload[off:]), int64(uint64FromLE(payload[off+4:])), uint64FromLE(payload[off+12:]))
+		}
+		return nil
+	})
+}
+
+func uint32FromLE(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func uint64FromLE(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// alignDown aligns ts down to a w-second grid (correct for negative ts).
+func alignDown(ts, w int64) int64 {
+	if ts >= 0 {
+		return ts - ts%w
+	}
+	return ts - (w+ts%w)%w
+}
+
+// sortBuckets flattens an aggregation map oldest-first.
+func sortBuckets(m map[int64]*Bucket) []Bucket {
+	starts := make([]int64, 0, len(m))
+	for s := range m {
+		starts = append(starts, s)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	out := make([]Bucket, 0, len(starts))
+	for _, s := range starts {
+		out = append(out, *m[s])
+	}
+	return out
+}
+
+// QuantileRange answers the q-quantile of a series over [from, to) from
+// the rollup sketches, plus the number of points covered ([from, to)
+// widens outward to the source bucket grid, as in Query). The 1m level
+// answers when its retention still covers `from`; older ranges fall back
+// to the 1h level. This is the baseline read behind history-backed
+// long-horizon drift detection (feedback.SeriesQuantiler).
+func (st *Store) QuantileRange(series string, from, to int64, q float64) (float64, int64, error) {
+	if to <= from {
+		return 0, 0, fmt.Errorf("history: empty range [%d, %d)", from, to)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.byName[series]
+	if !ok {
+		return 0, 0, fmt.Errorf("history: %w %q", ErrUnknownSeries, series)
+	}
+	lv := st.lv1m
+	if from < st.hwm-st.cfg.Retention1m {
+		lv = st.lv1h
+	}
+	merged := newSketch()
+	fold := func(m map[bucketKey]*Bucket) {
+		//raqolint:ignore maprange sketch merge only adds int64 bucket counts, which is exactly commutative
+		for k, b := range m {
+			if k.sid != s.id || k.start < alignDown(from, lv.width) || k.start >= to {
+				continue
+			}
+			merged.Merge(b.sk)
+		}
+	}
+	fold(lv.persisted)
+	fold(lv.active)
+	n := merged.Count()
+	if n == 0 {
+		return 0, 0, nil
+	}
+	return merged.Quantile(q), n, nil
+}

@@ -1,0 +1,318 @@
+package history
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// Bucket is one downsampled aggregate: every point of one series whose
+// timestamp falls in [Start, Start+width) folded into count/sum/min/max
+// plus a quantile sketch. Buckets of the same (series, window) merge
+// additively, so rollups of rollups equal rollups of the raw points.
+type Bucket struct {
+	Start int64
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+	sk    *Sketch
+}
+
+// add folds one value into the bucket.
+func (b *Bucket) add(v float64) {
+	if b.Count == 0 || v < b.Min {
+		b.Min = v
+	}
+	if b.Count == 0 || v > b.Max {
+		b.Max = v
+	}
+	b.Count++
+	b.Sum += v
+	if b.sk == nil {
+		b.sk = newSketch()
+	}
+	b.sk.Add(v)
+}
+
+// merge folds another bucket of the same series/window into b.
+func (b *Bucket) merge(o *Bucket) {
+	if o.Count == 0 {
+		return
+	}
+	if b.Count == 0 || o.Min < b.Min {
+		b.Min = o.Min
+	}
+	if b.Count == 0 || o.Max > b.Max {
+		b.Max = o.Max
+	}
+	b.Count += o.Count
+	b.Sum += o.Sum
+	if b.sk == nil {
+		b.sk = newSketch()
+	}
+	b.sk.Merge(o.sk)
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (b *Bucket) Mean() float64 {
+	if b.Count == 0 {
+		return 0
+	}
+	return b.Sum / float64(b.Count)
+}
+
+// Quantile returns the bucket's q-quantile from its sketch (~2% relative
+// error; 0 when empty).
+func (b *Bucket) Quantile(q float64) float64 {
+	if b.sk == nil {
+		return 0
+	}
+	return b.sk.Quantile(q)
+}
+
+// bucketKey addresses one bucket within a level.
+type bucketKey struct {
+	sid   uint32
+	start int64
+}
+
+// level is one rollup resolution: the persisted buckets (durable in the
+// level's log, covering sealed segments — including segments raw
+// retention has already deleted) plus the active segment's in-progress
+// buckets, which move to the log when the segment seals.
+type level struct {
+	width     int64 // bucket width in seconds (60 or 3600)
+	retention int64 // how far behind the high-water mark buckets are kept
+	logPath   string
+	logF      *os.File
+
+	persisted map[bucketKey]*Bucket
+	active    map[bucketKey]*Bucket
+	rolled    map[uint64]bool // segment ids already durable in the log
+	lastSweep int64
+}
+
+func newLevel(width, retention int64, logPath string) *level {
+	return &level{
+		width:     width,
+		retention: retention,
+		logPath:   logPath,
+		persisted: make(map[bucketKey]*Bucket),
+		active:    make(map[bucketKey]*Bucket),
+		rolled:    make(map[uint64]bool),
+	}
+}
+
+// bucketStart aligns ts down to the level's bucket grid.
+func (lv *level) bucketStart(ts int64) int64 {
+	if ts >= 0 {
+		return ts - ts%lv.width
+	}
+	return ts - (lv.width+ts%lv.width)%lv.width
+}
+
+// bump folds one active-segment point into the level. The caller passes
+// the series' cached current-bucket pointer so in-order appends skip the
+// map lookup entirely; the cache is invalidated on segment seal.
+func (lv *level) bump(sid uint32, cur **Bucket, ts int64, v float64) {
+	start := lv.bucketStart(ts)
+	if b := *cur; b != nil && b.Start == start {
+		b.add(v)
+		return
+	}
+	k := bucketKey{sid, start}
+	b := lv.active[k]
+	if b == nil {
+		b = &Bucket{Start: start}
+		lv.active[k] = b
+	}
+	b.add(v)
+	*cur = b
+}
+
+// compactedSegID tags log blocks holding the merged aggregates of
+// segments that no longer exist on disk (written by open-time compaction).
+const compactedSegID = ^uint64(0)
+
+// rollupEntry pairs a key with its bucket for sorted serialization.
+type rollupEntry struct {
+	key bucketKey
+	b   *Bucket
+}
+
+// sortedEntries returns a bucket map's entries ordered by (series, start)
+// so log blocks are byte-deterministic regardless of map iteration order.
+func sortedEntries(m map[bucketKey]*Bucket) []rollupEntry {
+	out := make([]rollupEntry, 0, len(m))
+	for k, b := range m {
+		out = append(out, rollupEntry{k, b})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].key.sid != out[j].key.sid {
+			return out[i].key.sid < out[j].key.sid
+		}
+		return out[i].key.start < out[j].key.start
+	})
+	return out
+}
+
+// encodeRollupBlock serializes one segment's bucket aggregates:
+//
+//	[u64 segment id][u32 entry count] then per entry
+//	[u32 series id][i64 bucket start][i64 count][f64 sum][f64 min][f64 max]
+//	[i64 sketch zero count][u16 sketch buckets] then per sketch bucket
+//	[i16 index][i64 count]
+func encodeRollupBlock(segID uint64, entries []rollupEntry) []byte {
+	size := 12
+	for _, e := range entries {
+		n := 0
+		if e.b.sk != nil {
+			n = len(e.b.sk.counts)
+		}
+		size += 4 + 8 + 8 + 24 + 8 + 2 + n*10
+	}
+	buf := make([]byte, 0, size)
+	var tmp [8]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:4], v)
+		buf = append(buf, tmp[:4]...)
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:8], v)
+		buf = append(buf, tmp[:8]...)
+	}
+	put16 := func(v uint16) {
+		binary.LittleEndian.PutUint16(tmp[:2], v)
+		buf = append(buf, tmp[:2]...)
+	}
+	put64(segID)
+	put32(uint32(len(entries)))
+	for _, e := range entries {
+		put32(e.key.sid)
+		put64(uint64(e.key.start))
+		put64(uint64(e.b.Count))
+		put64(math.Float64bits(e.b.Sum))
+		put64(math.Float64bits(e.b.Min))
+		put64(math.Float64bits(e.b.Max))
+		var zero int64
+		var idxs []int16
+		if e.b.sk != nil {
+			zero = e.b.sk.zero
+			idxs = e.b.sk.sortedIdx()
+		}
+		put64(uint64(zero))
+		put16(uint16(len(idxs)))
+		for _, idx := range idxs {
+			put16(uint16(idx))
+			put64(uint64(e.b.sk.counts[idx]))
+		}
+	}
+	return buf
+}
+
+// decodeRollupBlock parses one log block into (segID, entries).
+func decodeRollupBlock(payload []byte) (uint64, []rollupEntry, error) {
+	off := 0
+	need := func(n int) error {
+		if off+n > len(payload) {
+			return fmt.Errorf("history: rollup block truncated at offset %d", off)
+		}
+		return nil
+	}
+	get32 := func() uint32 {
+		v := binary.LittleEndian.Uint32(payload[off:])
+		off += 4
+		return v
+	}
+	get64 := func() uint64 {
+		v := binary.LittleEndian.Uint64(payload[off:])
+		off += 8
+		return v
+	}
+	get16 := func() uint16 {
+		v := binary.LittleEndian.Uint16(payload[off:])
+		off += 2
+		return v
+	}
+	if err := need(12); err != nil {
+		return 0, nil, err
+	}
+	segID := get64()
+	count := int(get32())
+	entries := make([]rollupEntry, 0, count)
+	for i := 0; i < count; i++ {
+		if err := need(62); err != nil {
+			return 0, nil, err
+		}
+		key := bucketKey{sid: get32(), start: int64(get64())}
+		b := &Bucket{
+			Start: key.start,
+			Count: int64(get64()),
+			Sum:   math.Float64frombits(get64()),
+			Min:   math.Float64frombits(get64()),
+			Max:   math.Float64frombits(get64()),
+		}
+		zero := int64(get64())
+		n := int(get16())
+		if err := need(n * 10); err != nil {
+			return 0, nil, err
+		}
+		if zero != 0 || n > 0 {
+			b.sk = newSketch()
+			b.sk.zero = zero
+			for j := 0; j < n; j++ {
+				idx := int16(get16())
+				b.sk.counts[idx] = int64(get64())
+			}
+		}
+		entries = append(entries, rollupEntry{key, b})
+	}
+	return segID, entries, nil
+}
+
+// appendSegment writes one sealed segment's active buckets to the log
+// (durability first), then merges them into the persisted view and marks
+// the segment rolled.
+func (lv *level) appendSegment(segID uint64, buckets map[bucketKey]*Bucket) error {
+	entries := sortedEntries(buckets)
+	if len(entries) > 0 {
+		var hdr [blockHeaderLen]byte
+		if err := appendBlock(lv.logF, &hdr, encodeRollupBlock(segID, entries)); err != nil {
+			return fmt.Errorf("history: rollup log %s: %w", lv.logPath, err)
+		}
+	}
+	for _, e := range entries {
+		lv.mergePersisted(e.key, e.b)
+	}
+	lv.rolled[segID] = true
+	return nil
+}
+
+// mergePersisted folds one bucket into the persisted view.
+func (lv *level) mergePersisted(k bucketKey, b *Bucket) {
+	if p, ok := lv.persisted[k]; ok {
+		p.merge(b)
+		return
+	}
+	cp := *b
+	lv.persisted[k] = &cp
+}
+
+// sweep drops persisted buckets that have aged out of the level's
+// retention, at most once per bucket width of high-water-mark progress.
+func (lv *level) sweep(hwm int64) {
+	if lv.retention <= 0 || hwm < lv.lastSweep+lv.width {
+		return
+	}
+	lv.lastSweep = hwm
+	cutoff := hwm - lv.retention
+	//raqolint:ignore maprange loop only deletes aged keys from the map it ranges, which is order-free
+	for k := range lv.persisted {
+		if k.start+lv.width <= cutoff {
+			delete(lv.persisted, k)
+		}
+	}
+}

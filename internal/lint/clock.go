@@ -7,8 +7,14 @@ import (
 // clockScopes are the discrete-event simulator packages: Figures 1-4 are
 // virtual-time experiments and the workload arbiter promises bit-identical
 // replays, so any wall-clock read here silently couples simulated results
-// to host speed.
-var clockScopes = []string{"internal/cluster", "internal/execsim", "internal/scheduler", "internal/arbiter"}
+// to host speed. internal/history is in scope for the same reason from
+// the storage side: every timestamp is injected by the caller (wall in
+// the server, virtual under the arbiter), so the store itself must never
+// consult host time — that is what makes its files byte-reproducible.
+var clockScopes = []string{
+	"internal/cluster", "internal/execsim", "internal/scheduler",
+	"internal/arbiter", "internal/history",
+}
 
 // wallClockFuncs are the time-package calls that read or wait on the wall
 // clock. time.Duration and time.Time as plain types remain fine.

@@ -1,0 +1,32 @@
+// Package histclock exercises the clock analyzer inside the history
+// store's scope (internal/history): the store promises byte-identical
+// files from identical workloads, with every timestamp injected by the
+// caller, so wall-clock reads must be flagged.
+package histclock
+
+import "time"
+
+// StampDefault falls back to the wall clock for an unset timestamp —
+// exactly the shortcut that would make segment bytes host-dependent.
+func StampDefault(ts int64) int64 {
+	if ts == 0 {
+		return time.Now().Unix() // want `\[clock\] time.Now reads the wall clock`
+	}
+	return ts
+}
+
+// RetentionTick sweeps on a host-time ticker instead of the committed
+// high-water mark.
+func RetentionTick() {
+	for range time.Tick(time.Minute) { // want `\[clock\] time.Tick reads the wall clock`
+		sweep()
+	}
+}
+
+func sweep() {}
+
+// BucketAge only manipulates injected timestamps as plain values — no
+// wall-clock read, nothing to flag.
+func BucketAge(hwm, start int64) time.Duration {
+	return time.Duration(hwm-start) * time.Second
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"raqo/internal/arbiter"
 	"raqo/internal/feedback"
@@ -210,7 +211,9 @@ func defaultArbiterTenants() []arbiter.TenantConfig {
 }
 
 // arbiterObserver wires arbiter completions into the server's feedback
-// recalibrator.
+// recalibrator. Observations are stamped with the wall clock, not the
+// arbiter's virtual finish time: the serving history store runs on wall
+// time, and virtual timestamps near zero would land decades in its past.
 func arbiterObserver(rec *feedback.Recalibrator) *feedback.Observer {
-	return &feedback.Observer{Recal: rec}
+	return &feedback.Observer{Recal: rec, Now: func() int64 { return time.Now().Unix() }}
 }

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"raqo/internal/history"
+)
+
+// HistoryBucket is one aggregate row of GET /v1/history: a step-aligned
+// window of one series with count/sum/min/max/mean and sketch quantiles.
+type HistoryBucket struct {
+	Start int64   `json:"start"`
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// HistoryResponse is the body of GET /v1/history?series=....
+type HistoryResponse struct {
+	Series  string          `json:"series"`
+	From    int64           `json:"from"`
+	To      int64           `json:"to"`
+	Step    int64           `json:"step"`
+	Buckets []HistoryBucket `json:"buckets"`
+}
+
+// HistorySeriesResponse is the body of GET /v1/history without a series
+// parameter: every recorded series name plus the store's committed shape.
+type HistorySeriesResponse struct {
+	Series    []string `json:"series"`
+	Points    int64    `json:"points"`
+	HighWater int64    `json:"highWater"`
+}
+
+// historyInt parses one integer query parameter, empty selecting def.
+func historyInt(q string, def int64) (int64, error) {
+	if q == "" {
+		return def, nil
+	}
+	return strconv.ParseInt(q, 10, 64)
+}
+
+// handleHistory serves range queries over the embedded history store.
+// Without ?series= it lists the recorded series; with one it returns the
+// downsampled buckets of [from, to) at step resolution (defaults: the
+// last hour at 60s). Rollup-backed reads follow the store's outward
+// alignment: a partially covered source bucket is included whole.
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	if s.hist == nil {
+		writeError(w, http.StatusNotFound, errors.New("history store not configured (start with -history-dir)"))
+		return
+	}
+	qp := r.URL.Query()
+	series := qp.Get("series")
+	if series == "" {
+		hs := s.hist.Stats()
+		writeResult(w, HistorySeriesResponse{
+			Series:    s.hist.SeriesNames(),
+			Points:    hs.CommittedTotal,
+			HighWater: hs.HighWater,
+		})
+		return
+	}
+	now := time.Now().Unix()
+	from, err := historyInt(qp.Get("from"), now-3600)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad from: %w", err))
+		return
+	}
+	to, err := historyInt(qp.Get("to"), now+1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad to: %w", err))
+		return
+	}
+	step, err := historyInt(qp.Get("step"), 60)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad step: %w", err))
+		return
+	}
+	rows, err := s.hist.Query(series, from, to, step)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, history.ErrUnknownSeries) {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, err)
+		return
+	}
+	resp := HistoryResponse{
+		Series:  series,
+		From:    from,
+		To:      to,
+		Step:    step,
+		Buckets: make([]HistoryBucket, len(rows)),
+	}
+	for i := range rows {
+		b := &rows[i]
+		resp.Buckets[i] = HistoryBucket{
+			Start: b.Start,
+			Count: b.Count,
+			Sum:   b.Sum,
+			Min:   b.Min,
+			Max:   b.Max,
+			Mean:  b.Mean(),
+			P50:   b.Quantile(0.5),
+			P90:   b.Quantile(0.9),
+			P99:   b.Quantile(0.99),
+		}
+	}
+	writeResult(w, resp)
+}
+
+// gatherHistory samples every telemetry series into the history store at
+// one wall-clock instant and commits the batch — one durable block per
+// gather tick. Serve runs it on the HistoryInterval ticker; tests call it
+// directly with a fixed timestamp.
+func (s *Server) gatherHistory(now int64) error {
+	if s.hist == nil {
+		return nil
+	}
+	s.metrics.Registry.Visit(func(name string, value float64) {
+		s.hist.Record(name, now, value)
+	})
+	return s.hist.Commit()
+}

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+
+	"raqo/internal/feedback"
+)
+
+// histBase is a fixed, minute-aligned wall-clock-scale timestamp so
+// history assertions never depend on the test host's clock.
+const histBase = int64(1_699_999_980)
+
+func getHistory(t *testing.T, base, query string, wantCode int) *http.Response {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/history" + query)
+	if err != nil {
+		t.Fatalf("GET /v1/history%s: %v", query, err)
+	}
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET /v1/history%s status = %d, want %d", query, resp.StatusCode, wantCode)
+	}
+	return resp
+}
+
+func TestHistoryEndpointServesFeedbackSeries(t *testing.T) {
+	_, ts := newTestServer(t, Config{HistoryDir: t.TempDir()})
+
+	obs := make([]feedback.Observation, 3)
+	for i := range obs {
+		obs[i] = validObservation(i)
+		obs[i].ObservedAt = histBase + int64(60*i)
+	}
+	resp := postJSON(t, ts.URL+"/v1/feedback", FeedbackRequest{Observations: obs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("feedback status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Without ?series= the endpoint lists what the store has seen. The
+	// batch was committed before the 200, so the points are visible.
+	var list HistorySeriesResponse
+	decodeBodyInto(t, getHistory(t, ts.URL, "", http.StatusOK), &list)
+	if list.Points == 0 {
+		t.Fatalf("no committed points: %+v", list)
+	}
+	seen := make(map[string]bool, len(list.Series))
+	for _, n := range list.Series {
+		seen[n] = true
+	}
+	for _, want := range []string{"feedback.relerr.hive.query", "feedback.relerr.hive.SMJ"} {
+		if !seen[want] {
+			t.Fatalf("series %q missing from %v", want, list.Series)
+		}
+	}
+
+	// A minute-step range query returns one bucket per observation, and
+	// validObservation's 4x prediction shows up as relative error 3.
+	q := fmt.Sprintf("?series=feedback.relerr.hive.query&from=%d&to=%d&step=60", histBase, histBase+180)
+	var hr HistoryResponse
+	decodeBodyInto(t, getHistory(t, ts.URL, q, http.StatusOK), &hr)
+	if len(hr.Buckets) != 3 {
+		t.Fatalf("got %d buckets, want 3: %+v", len(hr.Buckets), hr.Buckets)
+	}
+	for i, b := range hr.Buckets {
+		if b.Start != histBase+int64(60*i) || b.Count != 1 {
+			t.Fatalf("bucket %d = %+v", i, b)
+		}
+		if b.Mean < 2.9 || b.Mean > 3.1 {
+			t.Fatalf("bucket %d mean = %g, want ~3", i, b.Mean)
+		}
+	}
+
+	// Error mapping: unknown series is 404, a bad range parameter 400.
+	getHistory(t, ts.URL, "?series=no.such.series", http.StatusNotFound).Body.Close()
+	getHistory(t, ts.URL, "?series=feedback.relerr.hive.query&step=x", http.StatusBadRequest).Body.Close()
+	getHistory(t, ts.URL, fmt.Sprintf("?series=feedback.relerr.hive.query&from=%d&to=%d", histBase, histBase), http.StatusBadRequest).Body.Close()
+}
+
+func TestHistoryEndpointDisabledWithoutDir(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	getHistory(t, ts.URL, "", http.StatusNotFound).Body.Close()
+}
+
+func TestHistoryGatherSamplesTelemetry(t *testing.T) {
+	s, ts := newTestServer(t, Config{HistoryDir: t.TempDir()})
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	// Two gather ticks a minute apart: every telemetry series lands in the
+	// store, including the request counter the /healthz call bumped.
+	if err := s.gatherHistory(histBase); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.gatherHistory(histBase + 60); err != nil {
+		t.Fatal(err)
+	}
+	q := fmt.Sprintf("?series=raqo_http_requests_total./healthz&from=%d&to=%d&step=60", histBase, histBase+120)
+	var hr HistoryResponse
+	decodeBodyInto(t, getHistory(t, ts.URL, q, http.StatusOK), &hr)
+	if len(hr.Buckets) != 2 {
+		t.Fatalf("got %d buckets, want 2: %+v", len(hr.Buckets), hr.Buckets)
+	}
+	if hr.Buckets[0].Max < 1 {
+		t.Fatalf("request counter not gathered: %+v", hr.Buckets[0])
+	}
+	// The store's own func-backed metrics round-trip through the gather,
+	// so its growth is observable from its own history.
+	var list HistorySeriesResponse
+	decodeBodyInto(t, getHistory(t, ts.URL, "", http.StatusOK), &list)
+	found := false
+	for _, n := range list.Series {
+		if n == "raqo_history_points_total" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("store self-metrics missing from %v", list.Series)
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"raqo/internal/core"
 	"raqo/internal/feedback"
+	"raqo/internal/history"
 	"raqo/internal/resource"
 	"raqo/internal/telemetry"
 )
@@ -111,6 +112,27 @@ func (m *Metrics) AttachFeedback(rec *feedback.Recalibrator) {
 			}
 			return 0
 		})
+}
+
+// AttachHistory exports the history store's shape as func-backed metrics,
+// read live at scrape time. (These series are themselves gathered back
+// into the store by the periodic telemetry sweep, so the store's growth
+// is observable from its own history.)
+func (m *Metrics) AttachHistory(st *history.Store) {
+	if st == nil {
+		return
+	}
+	reg := m.Registry
+	reg.GaugeFunc("raqo_history_series", "Series registered in the history store.",
+		func() float64 { return float64(st.Stats().Series) })
+	reg.CounterFunc("raqo_history_points_total", "Points committed to the history store this process lifetime.",
+		func() float64 { return float64(st.Stats().CommittedTotal) })
+	reg.GaugeFunc("raqo_history_segments", "Sealed raw segment files currently on disk.",
+		func() float64 { return float64(st.Stats().Segments) })
+	reg.GaugeFunc("raqo_history_segment_bytes", "Bytes across raw segment files (sealed + active).",
+		func() float64 { return float64(st.Stats().SegmentBytes) })
+	reg.CounterFunc("raqo_history_retained_total", "Raw segments deleted by retention.",
+		func() float64 { return float64(st.Stats().RetainedTotal) })
 }
 
 // AttachMemo exports the operator-cost memo's counters.

@@ -48,6 +48,7 @@ import (
 	"raqo/internal/cost"
 	"raqo/internal/execsim"
 	"raqo/internal/feedback"
+	"raqo/internal/history"
 	"raqo/internal/plan"
 	"raqo/internal/resource"
 	"raqo/internal/telemetry"
@@ -99,6 +100,12 @@ type Config struct {
 	// JournalPath, when set, opens (or appends to) a JSONL feedback
 	// journal so accumulated observations survive restarts.
 	JournalPath string
+	// JournalMaxBytes rotates the feedback journal once the active file
+	// would exceed this size; 0 disables rotation (one unbounded file).
+	JournalMaxBytes int64
+	// JournalMaxFiles bounds how many rotated journal files are kept
+	// (oldest pruned first); 0 keeps all rotations.
+	JournalMaxFiles int
 	// FeedbackCapacity bounds the in-memory feedback ring; 0 selects
 	// feedback.DefaultStoreCapacity.
 	FeedbackCapacity int
@@ -108,6 +115,21 @@ type Config struct {
 	// recalibrates; 0 selects 30s, negative disables the loop (feedback
 	// still accumulates and /v1/model still reports drift).
 	RecalInterval time.Duration
+
+	// HistoryDir, when set, opens an embedded time-series history store
+	// there (internal/history): every telemetry series is gathered into it
+	// on the HistoryInterval ticker, the drift detector streams its
+	// per-class error series in (enabling history-backed long-horizon
+	// drift detection), and GET /v1/history serves time-range queries.
+	// Empty disables history entirely.
+	HistoryDir string
+	// HistoryRetention is the store's raw-segment retention in seconds;
+	// 0 selects the store default (rollups retain far longer).
+	HistoryRetention int64
+	// HistoryInterval is the telemetry gather period; 0 selects 10s,
+	// negative disables the gather loop (detector series still stream in
+	// and are committed with each feedback batch).
+	HistoryInterval time.Duration
 
 	// ArbiterCapacity is the container count of the simulated shared pool
 	// behind POST /v1/submit; 0 selects 100 (the paper's cluster scale).
@@ -152,6 +174,9 @@ func (c Config) withDefaults() Config {
 	if c.RecalInterval == 0 {
 		c.RecalInterval = 30 * time.Second
 	}
+	if c.HistoryInterval == 0 {
+		c.HistoryInterval = 10 * time.Second
+	}
 	if c.ArbiterCapacity == 0 {
 		c.ArbiterCapacity = 100
 	}
@@ -173,6 +198,7 @@ type Server struct {
 	start   time.Time
 	rec     *feedback.Recalibrator
 	journal *feedback.Journal // nil unless Config.JournalPath was set
+	hist    *history.Store    // nil unless Config.HistoryDir was set
 	arb     *arbiterState
 }
 
@@ -205,7 +231,10 @@ func New(cfg Config) (*Server, error) {
 
 	var journal *feedback.Journal
 	if cfg.JournalPath != "" {
-		journal, err = feedback.OpenJournal(cfg.JournalPath)
+		journal, err = feedback.OpenJournalConfig(cfg.JournalPath, feedback.JournalConfig{
+			MaxBytes: cfg.JournalMaxBytes,
+			MaxFiles: cfg.JournalMaxFiles,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -224,6 +253,23 @@ func New(cfg Config) (*Server, error) {
 		m.RecalDuration.Observe(r.Duration.Seconds())
 	})
 	m.AttachFeedback(rec)
+
+	// The history store (when configured) closes the long-horizon loop:
+	// the detector streams every error sample in, and its baseline reads
+	// come back out of the rollups.
+	var hist *history.Store
+	if cfg.HistoryDir != "" {
+		hist, err = history.Open(cfg.HistoryDir, history.Config{RawRetention: cfg.HistoryRetention})
+		if err != nil {
+			if journal != nil {
+				_ = journal.Close()
+			}
+			return nil, err
+		}
+		rec.Detector().SetRecorder(hist)
+		rec.Detector().SetHistory(hist, feedback.LongHorizonConfig{})
+		m.AttachHistory(hist)
+	}
 
 	sch := catalog.TPCH(cfg.SF)
 	// The arbiter owns a second optimizer: its conditions are re-pointed
@@ -274,6 +320,7 @@ func New(cfg Config) (*Server, error) {
 		start:   time.Now(),
 		rec:     rec,
 		journal: journal,
+		hist:    hist,
 		arb:     &arbiterState{arb: arb},
 	}
 	reg.GaugeFunc("raqo_uptime_seconds", "Seconds since the server started.",
@@ -286,6 +333,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/feedback", s.instrument("/v1/feedback", s.handleFeedback))
 	mux.HandleFunc("POST /v1/submit", s.instrument("/v1/submit", s.handleSubmit))
 	mux.HandleFunc("GET /v1/arbiter/stats", s.instrument("/v1/arbiter/stats", s.handleArbiterStats))
+	mux.HandleFunc("GET /v1/history", s.instrument("/v1/history", s.handleHistory))
 	mux.HandleFunc("GET /v1/model", s.instrument("/v1/model", s.handleModel))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
@@ -303,15 +351,26 @@ func (s *Server) Cache() *resource.Cache { return s.cache }
 // Recalibrator returns the server's feedback recalibrator.
 func (s *Server) Recalibrator() *feedback.Recalibrator { return s.rec }
 
-// Close releases resources the server owns outside Serve — currently the
-// feedback journal. Serve closes it on return; call Close directly when
-// using the server via Handler only.
+// Close releases resources the server owns outside Serve — the feedback
+// journal and the history store (committing any staged points). Serve
+// closes them on return; call Close directly when using the server via
+// Handler only.
 func (s *Server) Close() error {
+	var err error
 	if s.journal != nil {
-		return s.journal.Close()
+		err = s.journal.Close()
 	}
-	return nil
+	if s.hist != nil {
+		if cerr := s.hist.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
+
+// History returns the server's history store, or nil when Config.
+// HistoryDir was unset (primarily for tests).
+func (s *Server) History() *history.Store { return s.hist }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -346,9 +405,30 @@ func (s *Server) Serve(ctx context.Context, addr string, ready func(addr string)
 	} else {
 		close(loopDone)
 	}
+	// Telemetry gather: every HistoryInterval the metric registry is
+	// sampled into the history store and committed as one durable block.
+	gatherDone := make(chan struct{})
+	if s.hist != nil && s.cfg.HistoryInterval > 0 {
+		go func() {
+			defer close(gatherDone)
+			t := time.NewTicker(s.cfg.HistoryInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-loopCtx.Done():
+					return
+				case <-t.C:
+					_ = s.gatherHistory(time.Now().Unix())
+				}
+			}
+		}()
+	} else {
+		close(gatherDone)
+	}
 	defer func() {
 		stopLoop()
 		<-loopDone
+		<-gatherDone
 		_ = s.Close()
 	}()
 
@@ -643,14 +723,28 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	now := time.Now().Unix()
 	for i := range req.Observations {
 		o := req.Observations[i]
+		if o.ObservedAt == 0 {
+			// Untimestamped observations completed "about now" as far as
+			// the history store is concerned.
+			o.ObservedAt = now
+		}
 		if err := s.rec.Feed(o); err != nil {
 			// Validation passed, so only journal I/O can fail here.
 			writeError(w, http.StatusInternalServerError, err)
 			return
 		}
 		s.metrics.FeedbackError.Observe(o.RelError())
+	}
+	// Journal-before-ack for the error series too: the batch's history
+	// points are durable before the 200 goes out.
+	if s.hist != nil {
+		if err := s.hist.Commit(); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
 	}
 	writeResult(w, FeedbackResponse{
 		Accepted: len(req.Observations),

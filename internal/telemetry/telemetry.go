@@ -326,6 +326,33 @@ func writeBucket(w io.Writer, f *family, label, le string, cum int64) error {
 	return err
 }
 
+// Visit calls fn once per series with its current scalar value —
+// counters, gauges and func-backed metrics as-is, histograms as two
+// series suffixed _count and _sum. Labeled series are named
+// "<family>.<label>". Families are visited in registration order and
+// series within a family by label, so the sequence of names is
+// deterministic — the contract the periodic gather loop into the
+// history store relies on.
+func (r *Registry) Visit(fn func(name string, value float64)) {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		for _, s := range f.snapshot() {
+			name := f.name
+			if f.labelKey != "" {
+				name = f.name + "." + s.label
+			}
+			if f.kind == kindHistogram {
+				fn(name+"_count", float64(s.h.Count()))
+				fn(name+"_sum", s.h.Sum())
+				continue
+			}
+			fn(name, s.value())
+		}
+	}
+}
+
 // Summary renders counters, gauges and func metrics as one
 // space-separated "name=value" line (histograms appear as name_count),
 // in registration order — the `raqo batch` stats line.

@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"fmt"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -137,6 +139,128 @@ func TestSummaryLine(t *testing.T) {
 	want := "plans_total=10 in_flight=2 lat_seconds_count=1"
 	if got != want {
 		t.Fatalf("Summary() = %q, want %q", got, want)
+	}
+}
+
+// TestHistogramExactExposition pins the full text a histogram renders —
+// boundary placement, +Inf, sum and count — byte for byte. Values are
+// binary-exact so the sum has one canonical rendering.
+func TestHistogramExactExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("raqo_e_seconds", "exact", []float64{0.25, 0.5, 2.5})
+	h.Observe(0.25) // exactly on the first bound: counts as <= 0.25
+	h.Observe(0.5)
+	h.Observe(4) // beyond every bound: +Inf only
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP raqo_e_seconds exact
+# TYPE raqo_e_seconds histogram
+raqo_e_seconds_bucket{le="0.25"} 1
+raqo_e_seconds_bucket{le="0.5"} 2
+raqo_e_seconds_bucket{le="2.5"} 2
+raqo_e_seconds_bucket{le="+Inf"} 3
+raqo_e_seconds_sum 4.75
+raqo_e_seconds_count 3
+`
+	if b.String() != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestZeroObservationHistogramRendersEmpty checks that a registered but
+// never-observed histogram still renders every bucket (at zero) — the
+// shape scrapers rely on to learn the bucket layout before traffic.
+func TestZeroObservationHistogramRendersEmpty(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("raqo_idle_seconds", "idle", nil) // DefBuckets
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if got := strings.Count(out, "raqo_idle_seconds_bucket{"); got != len(DefBuckets)+1 {
+		t.Fatalf("%d bucket lines, want %d:\n%s", got, len(DefBuckets)+1, out)
+	}
+	for _, bound := range DefBuckets {
+		line := fmt.Sprintf("raqo_idle_seconds_bucket{le=%q} 0\n", fmtFloat(bound))
+		if !strings.Contains(out, line) {
+			t.Errorf("missing zero bucket %q in:\n%s", line, out)
+		}
+	}
+	for _, want := range []string{
+		`raqo_idle_seconds_bucket{le="+Inf"} 0`,
+		"raqo_idle_seconds_sum 0",
+		"raqo_idle_seconds_count 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramVecExposition checks labeled histograms render the label
+// before le on every bucket line, including zero-observation series.
+func TestHistogramVecExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("raqo_l_seconds", "labeled", "endpoint", []float64{1})
+	v.With("/a").Observe(0.5)
+	v.With("/b") // registered, never observed
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`raqo_l_seconds_bucket{endpoint="/a",le="1"} 1`,
+		`raqo_l_seconds_bucket{endpoint="/a",le="+Inf"} 1`,
+		`raqo_l_seconds_sum{endpoint="/a"} 0.5`,
+		`raqo_l_seconds_count{endpoint="/a"} 1`,
+		`raqo_l_seconds_bucket{endpoint="/b",le="1"} 0`,
+		`raqo_l_seconds_bucket{endpoint="/b",le="+Inf"} 0`,
+		`raqo_l_seconds_sum{endpoint="/b"} 0`,
+		`raqo_l_seconds_count{endpoint="/b"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestVisitEnumeratesSeries checks the gather contract: every series with
+// its scalar value, histograms split into _count/_sum, labels dotted onto
+// the family name, in a deterministic order.
+func TestVisitEnumeratesSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "c").Add(2)
+	r.Gauge("g", "g").Set(-3)
+	v := r.CounterVec("v_total", "v", "k")
+	v.With("b").Inc()
+	v.With("a").Add(4)
+	h := r.Histogram("h_seconds", "h", []float64{1})
+	h.Observe(0.5)
+	h.Observe(2)
+	r.GaugeFunc("f", "f", func() float64 { return 7.5 })
+
+	got := make(map[string]float64)
+	var order []string
+	r.Visit(func(name string, val float64) {
+		got[name] = val
+		order = append(order, name)
+	})
+	want := map[string]float64{
+		"c_total": 2, "g": -3,
+		"v_total.a": 4, "v_total.b": 1,
+		"h_seconds_count": 2, "h_seconds_sum": 2.5,
+		"f": 7.5,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Visit values = %v, want %v", got, want)
+	}
+	wantOrder := []string{"c_total", "g", "v_total.a", "v_total.b", "h_seconds_count", "h_seconds_sum", "f"}
+	if !reflect.DeepEqual(order, wantOrder) {
+		t.Fatalf("Visit order = %v, want %v", order, wantOrder)
 	}
 }
 
