@@ -316,7 +316,9 @@ func (j *Journal) Append(o Observation) error {
 
 // rotateLocked renames the active file to the next numbered slot, prunes
 // rotated files beyond MaxFiles (oldest first) and starts a fresh active
-// file.
+// file. A failure mid-rotation degrades rather than disables: the path is
+// reopened for append so later Appends keep journaling (into an oversized
+// or fresh file) instead of permanently returning "journal is closed".
 func (j *Journal) rotateLocked() error {
 	if err := j.w.Flush(); err != nil {
 		return fmt.Errorf("feedback: journal flush: %w", err)
@@ -325,6 +327,16 @@ func (j *Journal) rotateLocked() error {
 		return fmt.Errorf("feedback: journal close: %w", err)
 	}
 	j.f = nil
+	if err := j.rotateFilesLocked(); err != nil {
+		j.reopenDegradedLocked()
+		return err
+	}
+	return nil
+}
+
+// rotateFilesLocked is the rename/prune/reopen step of rotation; on entry
+// the active file is closed and j.f is nil.
+func (j *Journal) rotateFilesLocked() error {
 	nums, err := rotatedJournalNums(j.path)
 	if err != nil {
 		return err
@@ -353,6 +365,23 @@ func (j *Journal) rotateLocked() error {
 	j.w = bufio.NewWriter(f)
 	j.size = 0
 	return nil
+}
+
+// reopenDegradedLocked best-effort reopens the journal path for append
+// after a failed rotation. If the rename already happened the path comes
+// back as a fresh file; otherwise appends continue into the oversized one.
+// If even the reopen fails, j.f stays nil and Append keeps erroring.
+func (j *Journal) reopenDegradedLocked() {
+	f, err := os.OpenFile(j.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return
+	}
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	j.size = 0
+	if info, err := f.Stat(); err == nil {
+		j.size = info.Size()
+	}
 }
 
 // rotatedJournalNums lists the numeric suffixes of path's rotated files,

@@ -125,6 +125,50 @@ func TestJournalRotationPrunesOldest(t *testing.T) {
 	}
 }
 
+// TestJournalRotationFailureDegrades: a rotation that fails mid-way (here
+// the prune step hits a non-empty directory squatting on a rotated slot)
+// must not leave the journal permanently closed — the failing Append
+// errors, but later Appends keep journaling into a reopened file.
+func TestJournalRotationFailureDegrades(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+	if err := os.MkdirAll(path+".1", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(path+".1", "squatter"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournalConfig(path, JournalConfig{MaxBytes: 1, MaxFiles: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(obsAt("hive", 1000, 0.1)); err != nil {
+		t.Fatalf("first append (no rotation yet): %v", err)
+	}
+	if err := j.Append(obsAt("hive", 1001, 0.1)); err == nil {
+		t.Fatal("rotation across the squatted slot should have failed")
+	}
+	// Degraded, not dead: the journal reopened and keeps accepting.
+	if err := j.Append(obsAt("hive", 1002, 0.1)); err != nil {
+		t.Fatalf("append after failed rotation: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The pre-rotation and post-failure observations are both durable: one
+	// in the renamed rotation, one in the reopened active file.
+	if err := os.RemoveAll(path + ".1"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ObservedAt != 1000 || got[1].ObservedAt != 1002 {
+		t.Fatalf("replay after degraded rotation: %+v", got)
+	}
+}
+
 func TestLongHorizonDriftAgainstHistory(t *testing.T) {
 	st, err := history.Open(t.TempDir(), history.Config{})
 	if err != nil {

@@ -399,6 +399,11 @@ func (st *Store) sealLocked() error {
 		return err
 	}
 	st.active = nil
+	// The sealed segment's points and bytes now live in st.sealed; reset
+	// the active counters so Stats never counts them twice while no new
+	// active segment exists.
+	st.activeCount = 0
+	st.activeSize = 0
 	st.activeID++
 	st.sealSeq++
 	return nil
@@ -523,9 +528,6 @@ func (st *Store) Stats() Stats {
 		HighWater:      st.hwm,
 		SealedTotal:    st.sealSeq,
 		RetainedTotal:  st.retained,
-	}
-	if st.active == nil {
-		s.SegmentBytes = 0
 	}
 	for _, m := range st.sealed {
 		s.StoredPoints += m.points

@@ -583,6 +583,101 @@ func TestConcurrentRecordQuery(t *testing.T) {
 	}
 }
 
+// TestRollupBlockRoundTripZeroOnlySketch is the unit regression for a
+// decoder over-read: a bucket whose sketch holds only the zero bucket
+// (every value below sketchMinValue) encodes to the 54-byte fixed entry
+// with no sketch buckets, and the decoder must not demand more.
+func TestRollupBlockRoundTripZeroOnlySketch(t *testing.T) {
+	b := &Bucket{Start: 60}
+	b.add(0)
+	entries := []rollupEntry{{bucketKey{sid: 7, start: 60}, b}}
+	segID, got, err := decodeRollupBlock(encodeRollupBlock(3, entries))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if segID != 3 || len(got) != 1 {
+		t.Fatalf("segID=%d entries=%d", segID, len(got))
+	}
+	g := got[0].b
+	if g.Count != 1 || g.Sum != 0 || g.sk == nil || g.sk.zero != 1 || len(g.sk.counts) != 0 {
+		t.Fatalf("decoded bucket %+v sketch %+v", g, g.sk)
+	}
+}
+
+// TestZeroValueRollupReopen is the end-to-end form: seal a segment whose
+// only point is a zero (a flat counter), close, and reopen — the rollup
+// log ends in a zero-only-sketch entry and Open must still succeed.
+func TestZeroValueRollupReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Config{SegmentMaxBytes: 1}) // seal on every commit
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := st.Series("flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Append(s, 1000, 0)
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().SealedTotal != 1 {
+		t.Fatalf("segment not sealed: %+v", st.Stats())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err = Open(dir, Config{})
+	if err != nil {
+		t.Fatalf("reopen after zero-only rollup block: %v", err)
+	}
+	defer st.Close()
+	got, err := st.Query("flat", 0, 2000, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Count != 1 || got[0].Sum != 0 || got[0].Quantile(0.99) != 0 {
+		t.Fatalf("buckets = %+v", got)
+	}
+}
+
+// TestStatsAfterFinalCommitSeal covers the window between a seal and the
+// next openActive: the sealed segment's points and bytes must be counted
+// once from the sealed list, not again from stale active counters.
+func TestStatsAfterFinalCommitSeal(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Config{SegmentMaxBytes: 1}) // seal on every commit
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	s, err := st.Series("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 5; i++ {
+		st.Append(s, 1000+i, float64(i))
+	}
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got := st.Stats()
+	if got.Segments != 1 || got.SealedTotal != 1 {
+		t.Fatalf("expected one sealed segment: %+v", got)
+	}
+	if got.StoredPoints != 5 {
+		t.Fatalf("StoredPoints = %d, want 5 (sealed points double-counted?)", got.StoredPoints)
+	}
+	info, err := os.Stat(filepath.Join(dir, "seg-00000000.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SegmentBytes != info.Size() {
+		t.Fatalf("SegmentBytes = %d, want on-disk %d", got.SegmentBytes, info.Size())
+	}
+}
+
 func TestStatsShape(t *testing.T) {
 	st, err := Open(t.TempDir(), Config{SegmentMaxBytes: 4 << 10})
 	if err != nil {

@@ -243,8 +243,13 @@ func decodeRollupBlock(payload []byte) (uint64, []rollupEntry, error) {
 	segID := get64()
 	count := int(get32())
 	entries := make([]rollupEntry, 0, count)
+	// Fixed portion of one entry: 4 sid + 8 start + 8 count + 8 sum +
+	// 8 min + 8 max + 8 sketch zero + 2 sketch bucket count = 54 bytes.
+	// (An entry whose sketch holds only the zero bucket is exactly this
+	// long, so over-asking here would reject valid blocks at the tail.)
+	const entryFixedLen = 54
 	for i := 0; i < count; i++ {
-		if err := need(62); err != nil {
+		if err := need(entryFixedLen); err != nil {
 			return 0, nil, err
 		}
 		key := bucketKey{sid: get32(), start: int64(get64())}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"raqo/internal/history"
@@ -122,13 +123,35 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 // gatherHistory samples every telemetry series into the history store at
 // one wall-clock instant and commits the batch — one durable block per
 // gather tick. Serve runs it on the HistoryInterval ticker; tests call it
-// directly with a fixed timestamp.
+// directly with a fixed timestamp. Failures are counted in
+// raqo_history_gather_errors_total so a persistently failing gather is
+// visible instead of silently dropping history forever.
 func (s *Server) gatherHistory(now int64) error {
 	if s.hist == nil {
 		return nil
 	}
 	s.metrics.Registry.Visit(func(name string, value float64) {
-		s.hist.Record(name, now, value)
+		s.hist.Record(historySeriesName(name), now, value)
 	})
-	return s.hist.Commit()
+	err := s.hist.Commit()
+	if err != nil && s.metrics.GatherErrors != nil {
+		s.metrics.GatherErrors.Inc()
+	}
+	return err
+}
+
+// historySeriesName maps a telemetry series name onto one the history
+// store accepts: labels (tenant names, endpoints) may carry spaces, which
+// history.Series rejects — and a single bad name would stick as a
+// registration error and fail every later gather commit.
+func historySeriesName(name string) string {
+	if !strings.ContainsAny(name, " \n") {
+		return name
+	}
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\n' {
+			return '_'
+		}
+		return r
+	}, name)
 }

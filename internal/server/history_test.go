@@ -83,6 +83,29 @@ func TestHistoryEndpointDisabledWithoutDir(t *testing.T) {
 	getHistory(t, ts.URL, "", http.StatusNotFound).Body.Close()
 }
 
+// TestHistoryGatherSanitizesLabels: telemetry labels (endpoints, tenant
+// names) may carry spaces, which history.Series rejects. The gather must
+// sanitize the derived series name instead of wedging on a sticky
+// registration error that fails every later commit.
+func TestHistoryGatherSanitizesLabels(t *testing.T) {
+	s, ts := newTestServer(t, Config{HistoryDir: t.TempDir()})
+	s.metrics.Requests.With("bad endpoint").Inc()
+	if err := s.gatherHistory(histBase); err != nil {
+		t.Fatalf("gather with space-bearing label: %v", err)
+	}
+	// The next gather must also succeed — a sticky Record error would
+	// surface here even if the first Commit slipped through.
+	if err := s.gatherHistory(histBase + 60); err != nil {
+		t.Fatalf("second gather: %v", err)
+	}
+	q := fmt.Sprintf("?series=raqo_http_requests_total.bad_endpoint&from=%d&to=%d&step=60", histBase, histBase+120)
+	var hr HistoryResponse
+	decodeBodyInto(t, getHistory(t, ts.URL, q, http.StatusOK), &hr)
+	if len(hr.Buckets) != 2 || hr.Buckets[0].Max < 1 {
+		t.Fatalf("sanitized series not gathered: %+v", hr.Buckets)
+	}
+}
+
 func TestHistoryGatherSamplesTelemetry(t *testing.T) {
 	s, ts := newTestServer(t, Config{HistoryDir: t.TempDir()})
 	if resp, err := http.Get(ts.URL + "/healthz"); err != nil {

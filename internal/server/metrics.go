@@ -31,6 +31,9 @@ type Metrics struct {
 	// Feedback loop (nil under NewPlanningMetrics).
 	FeedbackError *telemetry.Histogram // raqo_feedback_rel_error
 	RecalDuration *telemetry.Histogram // raqo_recalibration_seconds
+
+	// History gather loop (nil under NewPlanningMetrics).
+	GatherErrors *telemetry.Counter // raqo_history_gather_errors_total
 }
 
 // NewPlanningMetrics registers the planner-work counters only.
@@ -58,6 +61,8 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 	m.RecalDuration = reg.Histogram("raqo_recalibration_seconds",
 		"Wall time of one online cost-model recalibration.",
 		[]float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1})
+	m.GatherErrors = reg.Counter("raqo_history_gather_errors_total",
+		"Telemetry gather ticks that failed to commit to the history store.")
 	return m
 }
 
