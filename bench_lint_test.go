@@ -54,6 +54,25 @@ func TestWriteLintBenchJSON(t *testing.T) {
 		}
 	})
 
+	// The flow-sensitive analyzers each get their own entry: they build a
+	// CFG and run a fixpoint per function, so their cost can drift
+	// independently of the syntactic passes.
+	for _, a := range lint.Analyzers() {
+		switch a.Name {
+		case "locks", "leak", "durable", "noalloc":
+		default:
+			continue
+		}
+		a := a
+		record("LintAnalyzer/"+a.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, p := range pkgs {
+					a.Run(p)
+				}
+			}
+		})
+	}
+
 	report := struct {
 		GoMaxProcs int     `json:"gomaxprocs"`
 		NumCPU     int     `json:"num_cpu"`
@@ -63,7 +82,8 @@ func TestWriteLintBenchJSON(t *testing.T) {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Note: "LintLoadModule includes the go list -export subprocess and gc export-data " +
-			"typechecking; LintAnalyzeModule is the pure AST/type analysis over already-loaded packages",
+			"typechecking; LintAnalyzeModule is the pure AST/type analysis over already-loaded packages; " +
+			"LintAnalyzer/<name> isolates each flow-sensitive (CFG + fixpoint) analyzer",
 		Benchmarks: entries,
 	}
 	data, err := json.MarshalIndent(report, "", "  ")

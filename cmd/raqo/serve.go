@@ -150,8 +150,15 @@ func serveCmd(args []string) error {
 		}
 		fmt.Printf("raqo serve: pprof on %s\n", pl.Addr())
 		ps := &http.Server{Handler: pprofHandler()}
-		go func() { _ = ps.Serve(pl) }()
-		defer ps.Close()
+		pprofDone := make(chan struct{})
+		go func() {
+			defer close(pprofDone)
+			_ = ps.Serve(pl)
+		}()
+		defer func() {
+			_ = ps.Close()
+			<-pprofDone
+		}()
 	}
 	return s.Serve(ctx, st.addr, func(bound string) {
 		fmt.Printf("raqo serve: listening on %s (planner %s, sf %g)\n", bound, st.planner, st.sf)

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	raqolint [-C dir] [-rules maprange,clock,...]
+//	raqolint [-C dir] [-only maprange,clock,...] [-json]
 //	raqolint -golden internal/lint/testdata/src
 //
 // The default mode lints the module rooted at -C (default ".") and exits
@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,18 +31,31 @@ import (
 func main() {
 	moduleDir := flag.String("C", ".", "module root to lint")
 	goldenDir := flag.String("golden", "", "verify analyzers against the // want markers of this testdata tree instead of linting the module")
-	rules := flag.String("rules", "", "comma-separated analyzer names to run (default: all)")
+	only := flag.String("only", "", "comma-separated analyzer or rule names to run (default: all)")
+	rules := flag.String("rules", "", "alias of -only, kept for older invocations")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array (file, line, col, rule, message, suppressed) instead of human-readable lines; suppressed findings are included, marked")
 	quiet := flag.Bool("q", false, "suppress the timing summary")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: raqolint [-C dir] [-golden testdata] [-rules a,b]\n\nanalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: raqolint [-C dir] [-golden testdata] [-only a,b] [-json]\n\nanalyzers:\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s (rules: %s)\n", a.Name, a.Doc, strings.Join(a.Rules, ", "))
 		}
+		fmt.Fprintf(flag.CommandLine.Output(), "\nexit status:\n"+
+			"  0  no findings (suppressed findings do not count)\n"+
+			"  1  findings, or golden-marker mismatches in -golden mode\n"+
+			"  2  load, type-check, or usage error\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	analyzers := selectAnalyzers(*rules)
+	selector := *only
+	if selector == "" {
+		selector = *rules
+	} else if *rules != "" && *rules != *only {
+		fmt.Fprintln(os.Stderr, "raqolint: -only and -rules are aliases; pass one")
+		os.Exit(2)
+	}
+	analyzers := selectAnalyzers(selector)
 	start := time.Now()
 	var (
 		pkgs  []*lint.Package
@@ -58,7 +72,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	findings, timings := lint.Run(pkgs, analyzers)
+	findings, silenced, timings := lint.RunDetail(pkgs, analyzers)
 
 	if *goldenDir != "" {
 		mismatches, err := lint.Golden(pkgs, findings)
@@ -75,6 +89,17 @@ func main() {
 		}
 		if len(mismatches) > 0 {
 			fmt.Fprintf(os.Stderr, "raqolint: %d golden mismatches\n", len(mismatches))
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *asJSON {
+		if err := writeJSON(os.Stdout, findings, silenced); err != nil {
+			fmt.Fprintln(os.Stderr, "raqolint:", err)
+			os.Exit(2)
+		}
+		if len(findings) > 0 {
 			os.Exit(1)
 		}
 		return
@@ -100,7 +125,38 @@ func main() {
 	}
 }
 
-// selectAnalyzers filters the suite by -rules (matching analyzer names or
+// jsonFinding is the machine-readable finding shape -json emits.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Rule       string `json:"rule"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// writeJSON emits every finding — live and suppressed — as one JSON
+// array, so tooling can both gate on violations and audit what
+// //raqolint:ignore directives are hiding. The array is position-sorted
+// with suppressed entries appended after live ones.
+func writeJSON(w *os.File, findings, silenced []lint.Finding) error {
+	out := make([]jsonFinding, 0, len(findings)+len(silenced))
+	add := func(fs []lint.Finding, suppressed bool) {
+		for _, f := range fs {
+			out = append(out, jsonFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+				Rule: f.Rule, Message: f.Msg, Suppressed: suppressed,
+			})
+		}
+	}
+	add(findings, false)
+	add(silenced, true)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// selectAnalyzers filters the suite by -only (matching analyzer names or
 // rule names); unknown names abort so a typo cannot silently disable a
 // gate.
 func selectAnalyzers(csv string) []*lint.Analyzer {

@@ -211,6 +211,8 @@ func (inc *Incremental) remember(e *incEntry, cond cluster.Conditions, d *Decisi
 // identical grid (minima and steps), maxima no larger, and shrunk by at
 // most the envelope fraction. Only then can the cached plan's optimality
 // be re-validated by probing its own operators.
+//
+//raqo:noalloc
 func (inc *Incremental) patchable(old, new cluster.Conditions) bool {
 	if new == old {
 		return false // exact memo already missed: it holds a different decision history
@@ -233,6 +235,8 @@ func (inc *Incremental) patchable(old, new cluster.Conditions) bool {
 
 // shrink is the relative reduction from old down to new (both positive,
 // new <= old).
+//
+//raqo:noalloc
 func shrink(old, new float64) float64 {
 	if old <= 0 {
 		return 1
@@ -244,6 +248,8 @@ func shrink(old, new float64) float64 {
 // under cond and reports whether all of them are assigned exactly the
 // resources the plan already carries — the condition under which the
 // cached decision remains valid verbatim.
+//
+//raqo:noalloc
 func (inc *Incremental) probePlan(root *plan.Node, cond cluster.Conditions) bool {
 	inc.joinBuf = root.AppendJoins(inc.joinBuf[:0])
 	for _, j := range inc.joinBuf {

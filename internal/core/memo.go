@@ -43,8 +43,8 @@ type memoFlight struct {
 // parallel planning. Safe for concurrent use.
 type CostMemo struct {
 	mu      sync.Mutex
-	entries map[memoKey]memoEntry
-	flights map[memoKey]*memoFlight
+	entries map[memoKey]memoEntry   // guarded by mu
+	flights map[memoKey]*memoFlight // guarded by mu
 
 	hits   atomic.Int64
 	misses atomic.Int64

@@ -114,10 +114,10 @@ type Detector struct {
 	cfg DriftConfig
 
 	mu      sync.Mutex
-	windows map[classKey]*window
-	rec     Recorder
-	hist    SeriesQuantiler
-	lhCfg   LongHorizonConfig
+	windows map[classKey]*window // guarded by mu
+	rec     Recorder             // guarded by mu
+	hist    SeriesQuantiler      // guarded by mu
+	lhCfg   LongHorizonConfig    // guarded by mu
 }
 
 // NewDetector builds a drift detector (zero-value fields in cfg select the
@@ -205,19 +205,19 @@ func (d *Detector) LongHorizonDrifted(now int64) (bool, error) {
 func (d *Detector) Observe(o Observation) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.push(classKey{o.Engine, "query"}, relError(o.PredictedSeconds, o.ObservedSeconds))
+	d.pushLocked(classKey{o.Engine, "query"}, relError(o.PredictedSeconds, o.ObservedSeconds))
 	if d.rec != nil {
 		d.rec.Record(RelErrSeries(o.Engine, "query"), o.ObservedAt, o.RelError())
 	}
 	for _, s := range o.Operators {
-		d.push(classKey{o.Engine, s.Algo}, s.RelError())
+		d.pushLocked(classKey{o.Engine, s.Algo}, s.RelError())
 		if d.rec != nil {
 			d.rec.Record(RelErrSeries(o.Engine, s.Algo), o.ObservedAt, s.RelError())
 		}
 	}
 }
 
-func (d *Detector) push(k classKey, e float64) {
+func (d *Detector) pushLocked(k classKey, e float64) {
 	w := d.windows[k]
 	if w == nil {
 		w = &window{errs: make([]float64, d.cfg.Window)}

@@ -143,11 +143,11 @@ func relError(pred, obs float64) float64 {
 // every append durably. Safe for concurrent use.
 type Store struct {
 	mu      sync.Mutex
-	ring    []Observation
-	next    int   // ring write cursor
-	full    bool  // ring has wrapped
-	total   int64 // appends ever
-	journal *Journal
+	ring    []Observation // guarded by mu
+	next    int           // guarded by mu; ring write cursor
+	full    bool          // guarded by mu; ring has wrapped
+	total   int64         // guarded by mu; appends ever
+	journal *Journal      // immutable after NewStore
 }
 
 // DefaultStoreCapacity bounds the ring when NewStore is given 0.
@@ -164,6 +164,8 @@ func NewStore(capacity int, journal *Journal) *Store {
 
 // Append validates and records one observation, journaling it first so a
 // crash never loses acknowledged feedback.
+//
+//raqo:ack
 func (s *Store) Append(o Observation) error {
 	if err := o.Validate(); err != nil {
 		return err
@@ -247,11 +249,11 @@ func (s *Store) Profiles() []cost.Profile {
 // evidence first, mirroring the in-memory ring's overwrite policy.
 type Journal struct {
 	mu   sync.Mutex
-	path string
-	f    *os.File
-	w    *bufio.Writer
-	size int64
-	cfg  JournalConfig
+	path string        // immutable after open
+	f    *os.File      // guarded by mu; nil once closed
+	w    *bufio.Writer // guarded by mu
+	size int64         // guarded by mu
+	cfg  JournalConfig // immutable after open
 }
 
 // JournalConfig tunes journal rotation. The zero value disables it.

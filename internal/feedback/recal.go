@@ -69,8 +69,8 @@ type Recalibrator struct {
 	det   *Detector
 	cur   atomic.Pointer[ModelInfo]
 
-	mu     sync.Mutex // serializes recalibrations and onSwap edits
-	onSwap []func(Recalibration, *ModelInfo)
+	mu     sync.Mutex                        // serializes recalibrations and onSwap edits
+	onSwap []func(Recalibration, *ModelInfo) // guarded by mu
 
 	recals        atomic.Int64
 	lastrecalSecs atomicFloat64

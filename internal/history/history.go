@@ -110,36 +110,36 @@ type segMeta struct {
 // queryable) at Commit.
 type Store struct {
 	mu  sync.Mutex
-	dir string
-	cfg Config
+	dir string // immutable after Open
+	cfg Config // immutable after Open
 
-	series  []*Series
-	byName  map[string]*Series
-	seriesF *os.File
+	series  []*Series          // guarded by mu
+	byName  map[string]*Series // guarded by mu
+	seriesF *os.File           // guarded by mu
 
-	active      *os.File
-	activeID    uint64
-	activePath  string
-	activeSize  int64 // committed bytes, including magic
-	activeMin   int64
-	activeMax   int64
-	activeCount int64
+	active      *os.File // guarded by mu
+	activeID    uint64   // guarded by mu
+	activePath  string   // guarded by mu
+	activeSize  int64    // guarded by mu; committed bytes, including magic
+	activeMin   int64    // guarded by mu
+	activeMax   int64    // guarded by mu
+	activeCount int64    // guarded by mu
 
-	pending      []byte // staged point records, not yet durable
-	pendingCount int64
-	pendingMin   int64
-	pendingMax   int64
-	hdr          [blockHeaderLen]byte
+	pending      []byte               // guarded by mu; staged point records, not yet durable
+	pendingCount int64                // guarded by mu
+	pendingMin   int64                // guarded by mu
+	pendingMax   int64                // guarded by mu
+	hdr          [blockHeaderLen]byte // guarded by mu
 
-	sealed []segMeta
-	lv1m   *level
-	lv1h   *level
+	sealed []segMeta // guarded by mu
+	lv1m   *level    // pointer immutable after Open; contents guarded by mu
+	lv1h   *level    // pointer immutable after Open; contents guarded by mu
 
-	hwm       int64 // newest committed timestamp
-	committed int64 // points ever committed
-	sealSeq   int64 // segments ever sealed
-	retained  int64 // segments deleted by retention
-	err       error // sticky background error (Record path), surfaced at Commit
+	hwm       int64 // guarded by mu; newest committed timestamp
+	committed int64 // guarded by mu; points ever committed
+	sealSeq   int64 // guarded by mu; segments ever sealed
+	retained  int64 // guarded by mu; segments deleted by retention
+	err       error // guarded by mu; sticky background error (Record path), surfaced at Commit
 }
 
 // Open opens (creating as needed) a store rooted at dir, recovering any
@@ -156,10 +156,15 @@ func Open(dir string, cfg Config) (*Store, error) {
 		lv1m:   newLevel(60, cfg.Retention1m, filepath.Join(dir, "rollup-1m.log")),
 		lv1h:   newLevel(3600, cfg.Retention1h, filepath.Join(dir, "rollup-1h.log")),
 	}
-	if err := st.loadSeries(); err != nil {
-		return nil, err
+	// The lock is uncontended here (st is unpublished), but taking it keeps
+	// the *Locked helpers' contract literal.
+	st.mu.Lock()
+	err := st.loadSeriesLocked()
+	if err == nil {
+		err = st.recoverLocked()
 	}
-	if err := st.recover(); err != nil {
+	st.mu.Unlock()
+	if err != nil {
 		return nil, err
 	}
 	return st, nil
@@ -170,7 +175,7 @@ func (st *Store) seriesPath() string { return filepath.Join(st.dir, "series.idx"
 
 // loadSeries reads the registry, truncating a torn final line, and opens
 // it for appending.
-func (st *Store) loadSeries() error {
+func (st *Store) loadSeriesLocked() error {
 	path := st.seriesPath()
 	data, err := os.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
@@ -252,12 +257,15 @@ func (st *Store) SeriesNames() []string {
 // next Commit. The hot path is allocation-free after warmup: one staged
 // 20-byte record; rollup buckets are folded in at Commit, after the
 // block write succeeds.
+//
+//raqo:noalloc
 func (st *Store) Append(s *Series, ts int64, v float64) {
 	st.mu.Lock()
 	st.appendLocked(s, ts, v)
 	st.mu.Unlock()
 }
 
+//raqo:noalloc
 func (st *Store) appendLocked(s *Series, ts int64, v float64) {
 	n := len(st.pending)
 	st.pending = append(st.pending, make([]byte, pointRecordLen)...)
@@ -311,7 +319,7 @@ func (st *Store) commitLocked() error {
 		return nil
 	}
 	if st.active == nil {
-		if err := st.openActive(); err != nil {
+		if err := st.openActiveLocked(); err != nil {
 			return err
 		}
 	}
@@ -362,7 +370,7 @@ func (st *Store) segPath(id uint64) string {
 }
 
 // openActive starts a fresh active segment.
-func (st *Store) openActive() error {
+func (st *Store) openActiveLocked() error {
 	st.activePath = st.segPath(st.activeID)
 	f, err := os.OpenFile(st.activePath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -395,7 +403,7 @@ func (st *Store) sealLocked() error {
 		points: st.activeCount,
 		bytes:  st.activeSize,
 	})
-	if err := st.rollSegment(st.activeID); err != nil {
+	if err := st.rollSegmentLocked(st.activeID); err != nil {
 		return err
 	}
 	st.active = nil
@@ -411,10 +419,10 @@ func (st *Store) sealLocked() error {
 
 // rollSegment makes the just-sealed segment's aggregates durable in both
 // rollup logs and moves them into the persisted views.
-func (st *Store) rollSegment(segID uint64) error {
+func (st *Store) rollSegmentLocked(segID uint64) error {
 	for _, lv := range [2]*level{st.lv1m, st.lv1h} {
 		if lv.logF == nil {
-			if err := st.openRollupLog(lv); err != nil {
+			if err := st.openRollupLogLocked(lv); err != nil {
 				return err
 			}
 		}
@@ -430,7 +438,7 @@ func (st *Store) rollSegment(segID uint64) error {
 }
 
 // openRollupLog opens (creating with magic if empty) a level's log.
-func (st *Store) openRollupLog(lv *level) error {
+func (st *Store) openRollupLogLocked(lv *level) error {
 	f, err := os.OpenFile(lv.logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("history: %w", err)

@@ -8,13 +8,13 @@ import (
 	"sort"
 )
 
-// recover rebuilds the store's in-memory state from disk after Open:
+// recoverLocked rebuilds the store's in-memory state from disk after Open:
 // truncate torn tails, re-roll every surviving segment, fold the rollup
 // logs' aggregates for already-deleted segments into the persisted views,
 // and rewrite both logs compacted. Crash-safe at every step — the logs
 // are replaced atomically via rename, and a crash mid-recovery just means
 // the next Open redoes the same deterministic work.
-func (st *Store) recover() error {
+func (st *Store) recoverLocked() error {
 	// 1. Read the rollup logs, keeping aggregates grouped per segment so
 	// entries for segments that still exist (which are re-rolled from
 	// their raw points below) can be discarded without double counting.
@@ -194,7 +194,7 @@ func (st *Store) recover() error {
 			}
 			lv.rolled[sr.meta.id] = true
 		}
-		if err := st.openRollupLog(lv); err != nil {
+		if err := st.openRollupLogLocked(lv); err != nil {
 			return err
 		}
 	}

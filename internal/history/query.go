@@ -34,7 +34,7 @@ func (st *Store) Query(series string, from, to, step int64) ([]Bucket, error) {
 		return nil, fmt.Errorf("history: %w %q", ErrUnknownSeries, series)
 	}
 	if step < 60 {
-		return st.queryRaw(s.id, from, to, step)
+		return st.queryRawLocked(s.id, from, to, step)
 	}
 	lv := st.lv1m
 	if step >= 3600 {
@@ -43,14 +43,14 @@ func (st *Store) Query(series string, from, to, step int64) ([]Bucket, error) {
 	if step%lv.width != 0 {
 		step = (step/lv.width + 1) * lv.width
 	}
-	return st.queryLevel(lv, s.id, from, to, step), nil
+	return st.queryLevelLocked(lv, s.id, from, to, step), nil
 }
 
 // queryLevel aggregates a rollup level's buckets (persisted + active
 // segment) into step-aligned output buckets. Sources are sorted before
 // merging: counts and extrema are order-free, but float sums are not
 // associative, and query output must be bit-stable across runs.
-func (st *Store) queryLevel(lv *level, sid uint32, from, to, step int64) []Bucket {
+func (st *Store) queryLevelLocked(lv *level, sid uint32, from, to, step int64) []Bucket {
 	lo := alignDown(from, lv.width)
 	type row struct {
 		start int64
@@ -85,7 +85,7 @@ func (st *Store) queryLevel(lv *level, sid uint32, from, to, step int64) []Bucke
 
 // queryRaw scans the raw segments overlapping [from, to) and buckets the
 // points at step resolution.
-func (st *Store) queryRaw(sid uint32, from, to, step int64) ([]Bucket, error) {
+func (st *Store) queryRawLocked(sid uint32, from, to, step int64) ([]Bucket, error) {
 	out := make(map[int64]*Bucket)
 	fold := func(sidP uint32, ts int64, bits uint64) {
 		if sidP != sid || ts < from || ts >= to {

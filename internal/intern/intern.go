@@ -15,7 +15,7 @@ const shards = 64
 
 type shard struct {
 	mu sync.RWMutex
-	m  map[string]string
+	m  map[string]string // guarded by mu
 }
 
 // Table is a striped string intern table. The zero value is not usable;
@@ -33,6 +33,7 @@ func NewTable() *Table {
 	return t
 }
 
+//raqo:noalloc
 func fnv1a(s string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(s); i++ {
@@ -44,6 +45,8 @@ func fnv1a(s string) uint64 {
 // Intern returns a canonical copy of s: the first caller's string is
 // stored and every later call with an equal string returns that same
 // backing string.
+//
+//raqo:noalloc
 func (t *Table) Intern(s string) string {
 	sh := &t.shards[fnv1a(s)%shards]
 	sh.mu.RLock()

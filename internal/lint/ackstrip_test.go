@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAckStripFires proves the durable analyzer guards the real
+// journal-before-ack invariant end to end: copy the module, strip the
+// //raqo:ack annotation off the feedback HTTP handler, and the ackmark
+// rule must demand it back. Without this, the analyzer could rot into
+// only ever checking functions nobody annotated.
+func TestAckStripFires(t *testing.T) {
+	if testing.Short() {
+		t.Skip("copies and reloads the module")
+	}
+	root := t.TempDir()
+	if err := copyModule("../..", root); err != nil {
+		t.Fatal(err)
+	}
+
+	target := filepath.Join(root, "internal", "server", "server.go")
+	src, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped := make([]string, 0, 64)
+	removed := 0
+	for _, line := range strings.Split(string(src), "\n") {
+		if strings.TrimSpace(line) == "//raqo:ack" {
+			removed++
+			continue
+		}
+		stripped = append(stripped, line)
+	}
+	if removed == 0 {
+		t.Fatal("internal/server/server.go carries no //raqo:ack line to strip — the handler lost its annotation")
+	}
+	if err := os.WriteFile(target, []byte(strings.Join(stripped, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	pkgs, _, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, _ := Run(pkgs, []*Analyzer{Durable()})
+	for _, f := range findings {
+		if f.Rule == "ackmark" && strings.Contains(f.Msg, "handleFeedback") {
+			return
+		}
+	}
+	t.Fatalf("stripping //raqo:ack from the feedback handler produced no ackmark finding; got: %v", findings)
+}
+
+// copyModule copies the module tree at src into dst, skipping .git and
+// nested testdata modules (the golden trees are loaded separately and
+// only slow the go list pass down).
+func copyModule(src, dst string) error {
+	return filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" || d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return os.MkdirAll(filepath.Join(dst, rel), 0o755)
+		}
+		if !d.Type().IsRegular() {
+			return nil
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dst, rel), b, 0o644)
+	})
+}

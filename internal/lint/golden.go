@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"regexp"
+	"sort"
 	"strconv"
 )
 
@@ -75,27 +76,93 @@ func indexOfWant(comment string) int {
 // sources and returns a list of mismatches: findings nothing expected,
 // and expectations nothing matched. An empty slice means the analyzers
 // behave exactly as the golden files document.
+//
+// Findings and wants pair up per source line by maximum bipartite
+// matching, not greedily: one line may carry several want patterns for
+// findings from different analyzers, and a broad pattern is never
+// allowed to steal the finding a narrower sibling needs when an
+// assignment satisfying both exists.
 func Golden(pkgs []*Package, findings []Finding) ([]string, error) {
 	wants, err := expectations(pkgs)
 	if err != nil {
 		return nil, err
 	}
+	type lineKey struct {
+		file string
+		line int
+	}
+	wantsAt := map[lineKey][]*expectation{}
+	for _, w := range wants {
+		k := lineKey{w.file, w.line}
+		wantsAt[k] = append(wantsAt[k], w)
+	}
+
 	var errs []string
+	matchedBy := map[lineKey][]Finding{}
 	for _, f := range findings {
-		rendered := fmt.Sprintf("[%s] %s", f.Rule, f.Msg)
-		matched := false
-		for _, w := range wants {
-			if w.matched || w.file != f.Pos.Filename || w.line != f.Pos.Line {
-				continue
-			}
-			if w.re.MatchString(rendered) {
-				w.matched = true
-				matched = true
-				break
+		k := lineKey{f.Pos.Filename, f.Pos.Line}
+		if len(wantsAt[k]) == 0 {
+			errs = append(errs, fmt.Sprintf("unexpected finding: %s", f))
+			continue
+		}
+		matchedBy[k] = append(matchedBy[k], f)
+	}
+	keys := make([]lineKey, 0, len(matchedBy))
+	//raqolint:ignore maprange keys are sorted before use
+	for k := range matchedBy {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		fs := matchedBy[k]
+		ws := wantsAt[k]
+		// adj[i] lists the wants finding i's rendering satisfies.
+		adj := make([][]int, len(fs))
+		for i, f := range fs {
+			rendered := fmt.Sprintf("[%s] %s", f.Rule, f.Msg)
+			for j, w := range ws {
+				if w.re.MatchString(rendered) {
+					adj[i] = append(adj[i], j)
+				}
 			}
 		}
-		if !matched {
-			errs = append(errs, fmt.Sprintf("unexpected finding: %s", f))
+		owner := make([]int, len(ws)) // want j -> finding index, -1 if free
+		for j := range owner {
+			owner[j] = -1
+		}
+		var augment func(i int, seen []bool) bool
+		augment = func(i int, seen []bool) bool {
+			for _, j := range adj[i] {
+				if seen[j] {
+					continue
+				}
+				seen[j] = true
+				if owner[j] == -1 || augment(owner[j], seen) {
+					owner[j] = i
+					return true
+				}
+			}
+			return false
+		}
+		assigned := make([]bool, len(fs))
+		for i := range fs {
+			augment(i, make([]bool, len(ws)))
+		}
+		for j, i := range owner {
+			if i >= 0 {
+				ws[j].matched = true
+				assigned[i] = true
+			}
+		}
+		for i, ok := range assigned {
+			if !ok {
+				errs = append(errs, fmt.Sprintf("unexpected finding: %s", fs[i]))
+			}
 		}
 	}
 	for _, w := range wants {

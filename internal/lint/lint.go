@@ -21,6 +21,19 @@
 //   - pool: objects returned to a sync.Pool must be reset first, or the
 //     hot-path pools recycle stale plan state across queries.
 //
+// Four further analyzers are flow-sensitive, built on the CFG + dataflow
+// engine in cfg.go/dataflow.go:
+//
+//   - locks: fields annotated `// guarded by <mu>` may only be touched
+//     with that mutex held on every control-flow path.
+//   - leak: every `go` statement must observe a context, done channel,
+//     or WaitGroup, so shutdown can reach the goroutine.
+//   - durable: in //raqo:ack functions the durable write must dominate
+//     every acknowledgement, and Close/Sync errors on durable files may
+//     not be discarded.
+//   - noalloc: //raqo:noalloc hot-path functions must contain no
+//     allocating constructs.
+//
 // Findings print as "file:line:col: [rule] message". A finding can be
 // suppressed with a trailing or immediately preceding comment of the form
 //
@@ -76,7 +89,10 @@ type Analyzer struct {
 
 // Analyzers returns the full RAQO suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NonDet(), Clock(), Units(), CtxLoop(), Telemetry(), Pool()}
+	return []*Analyzer{
+		NonDet(), Clock(), Units(), CtxLoop(), Telemetry(), Pool(),
+		Locks(), Leak(), Durable(), Noalloc(),
+	}
 }
 
 // KnownRules returns every rule name an //raqolint:ignore directive may
@@ -101,8 +117,17 @@ type Timing struct {
 // validates every //raqolint:ignore directive, and returns the surviving
 // findings sorted by position along with per-analyzer wall times.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, []Timing) {
+	kept, _, timings := RunDetail(pkgs, analyzers)
+	return kept, timings
+}
+
+// RunDetail is Run with the suppressed findings kept visible: it returns
+// the surviving findings, the findings an //raqolint:ignore directive
+// silenced (machine consumers audit those), and the per-analyzer wall
+// times. Both finding slices are sorted by position.
+func RunDetail(pkgs []*Package, analyzers []*Analyzer) (kept, silenced []Finding, timings []Timing) {
 	var findings []Finding
-	timings := make([]Timing, 0, len(analyzers))
+	timings = make([]Timing, 0, len(analyzers))
 	for _, a := range analyzers {
 		start := time.Now()
 		for _, p := range pkgs {
@@ -111,11 +136,12 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, []Timing) {
 		timings = append(timings, Timing{Analyzer: a.Name, Elapsed: time.Since(start)})
 	}
 
+	// Directives validate against the full registry, not the selected
+	// subset: running `-only locks` must not re-flag a maprange ignore as
+	// naming an unknown rule.
 	known := map[string]bool{}
-	for _, a := range analyzers {
-		for _, r := range a.Rules {
-			known[r] = true
-		}
+	for _, r := range KnownRules() {
+		known[r] = true
 	}
 	var dirs []directive
 	for _, p := range pkgs {
@@ -124,14 +150,21 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, []Timing) {
 		findings = append(findings, bad...)
 	}
 
-	kept := findings[:0]
 	for _, f := range findings {
-		if !suppressed(f, dirs) {
+		if suppressed(f, dirs) {
+			silenced = append(silenced, f)
+		} else {
 			kept = append(kept, f)
 		}
 	}
-	findings = kept
 
+	sortFindings(kept)
+	sortFindings(silenced)
+	return kept, silenced, timings
+}
+
+// sortFindings orders findings by file, line, column, then rule.
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -145,7 +178,6 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, []Timing) {
 		}
 		return a.Rule < b.Rule
 	})
-	return findings, timings
 }
 
 // inScope reports whether a package path falls under one of the directory

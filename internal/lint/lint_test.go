@@ -4,6 +4,7 @@ import (
 	"go/token"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestGolden runs the full analyzer suite over the testdata tree and
@@ -30,9 +31,43 @@ func TestGolden(t *testing.T) {
 	for _, f := range findings {
 		seen[f.Rule] = true
 	}
-	for _, rule := range []string{"maprange", "randsrc", "clock", "units", "unitmix", "ctx", "metric", "pool"} {
+	for _, rule := range []string{
+		"maprange", "randsrc", "clock", "units", "unitmix", "ctx", "metric", "pool",
+		"locks", "leak", "durable", "ackmark", "noalloc",
+	} {
 		if !seen[rule] {
 			t.Errorf("golden tree has no positive case for rule %q", rule)
+		}
+	}
+}
+
+// TestCleanGoldenPackages is the negative-coverage twin of TestGolden's
+// positive guard: every analyzer must own a golden package named
+// "<analyzer>ok" that exercises its sanctioned idioms and yields zero
+// findings, so an analyzer that starts over-firing fails here rather
+// than only tripping on the module tree.
+func TestCleanGoldenPackages(t *testing.T) {
+	pkgs, _, err := LoadTree("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, _ := Run(pkgs, Analyzers())
+	for _, a := range Analyzers() {
+		suffix := "/" + a.Name + "ok"
+		found := false
+		for _, p := range pkgs {
+			if !strings.HasSuffix(p.Path, suffix) {
+				continue
+			}
+			found = true
+			for _, f := range findings {
+				if strings.Contains(f.Pos.Filename, suffix+"/") {
+					t.Errorf("clean golden package %s for analyzer %q has finding: %s", p.Path, a.Name, f)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("analyzer %q has no clean golden package (want one named %q under testdata/src)", a.Name, a.Name+"ok")
 		}
 	}
 }
@@ -117,13 +152,20 @@ func TestKnownRules(t *testing.T) {
 
 // TestSelfLint runs the suite over the module itself: the tree must stay
 // free of unsuppressed findings, which is the same gate `make lint`
-// enforces in CI.
+// enforces in CI — and the full load+analyze pass must fit a generous
+// wall-clock budget, so the CFG/fixpoint layer cannot silently turn
+// `make check` into a coffee break.
 func TestSelfLint(t *testing.T) {
+	const budget = 30 * time.Second
+	start := time.Now()
 	pkgs, _, err := LoadModule("../..")
 	if err != nil {
 		t.Fatal(err)
 	}
 	findings, _ := Run(pkgs, Analyzers())
+	if elapsed := time.Since(start); elapsed > budget {
+		t.Errorf("full-tree lint took %v, over the %v budget — a flow analysis is likely no longer converging cheaply", elapsed, budget)
+	}
 	for _, f := range findings {
 		t.Errorf("module lint finding: %s", f)
 	}

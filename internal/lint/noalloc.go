@@ -1,0 +1,387 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Noalloc returns the allocation-freedom analyzer (rule "noalloc"):
+// functions marked //raqo:noalloc — the pooled planning hot path of PR 6
+// and the warm history append of PR 7 — must contain no allocating
+// construct. Flagged: fmt calls, string concatenation, string<->[]byte
+// and string<->[]rune conversions, map/slice composite literals and
+// &T{} literals, make and new, `go` statements, variable-capturing
+// function literals, interface boxing of non-pointer-shaped values at
+// call arguments, returns, and assignments, and growing appends.
+//
+// Appends are exempt in three compiler-visible shapes: the
+// append(x, make(...)...) splat (the runtime extends in place), an
+// append into a reslice-to-zero append(buf[:0], ...) (reuses backing),
+// and appends in a function that checks cap() itself (pool-managed
+// capacity, as in the history block builder).
+func Noalloc() *Analyzer {
+	return &Analyzer{
+		Name:  "noalloc",
+		Doc:   "//raqo:noalloc functions must not contain allocating constructs",
+		Rules: []string{"noalloc"},
+		Run:   runNoalloc,
+	}
+}
+
+// noallocMarker marks functions that must be allocation-free.
+const noallocMarker = "//raqo:noalloc"
+
+func runNoalloc(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasMarker(fd.Doc, noallocMarker) {
+				continue
+			}
+			out = append(out, checkNoalloc(p, fd)...)
+		}
+	}
+	return out
+}
+
+func checkNoalloc(p *Package, fd *ast.FuncDecl) []Finding {
+	c := &noallocChecker{
+		p:      p,
+		fn:     fd.Name.Name,
+		exempt: map[ast.Node]bool{},
+		capOK:  hasCapEvidence(fd.Body),
+	}
+	c.markExemptAppends(fd.Body)
+	ast.Inspect(fd.Body, c.visit)
+	return c.out
+}
+
+type noallocChecker struct {
+	p      *Package
+	fn     string
+	exempt map[ast.Node]bool // appends/makes proven non-growing
+	capOK  bool              // function manages capacity via cap() itself
+	out    []Finding
+}
+
+func (c *noallocChecker) report(n ast.Node, format string, args ...any) {
+	args = append(args, c.fn)
+	c.out = append(c.out, c.p.finding("noalloc", n, format+" in //raqo:noalloc %s", args...))
+}
+
+// markExemptAppends pre-marks the append shapes the runtime or the pool
+// discipline keeps allocation-free, and the make calls inside them.
+func (c *noallocChecker) markExemptAppends(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBuiltin(c.p, call.Fun, "append") || len(call.Args) == 0 {
+			return true
+		}
+		// append(x, make(...)...): the splat extends x in place.
+		if call.Ellipsis != token.NoPos && len(call.Args) == 2 {
+			if mk, ok := stripParens(call.Args[1]).(*ast.CallExpr); ok && isBuiltin(c.p, mk.Fun, "make") {
+				c.exempt[call] = true
+				c.exempt[mk] = true
+				return true
+			}
+		}
+		// append(buf[:0], ...): reuses buf's backing array.
+		if se, ok := stripParens(call.Args[0]).(*ast.SliceExpr); ok {
+			if se.Low == nil && se.High != nil {
+				if v, ok := constIntValue(c.p, se.High); ok && v == 0 {
+					c.exempt[call] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (c *noallocChecker) visit(n ast.Node) bool {
+	switch x := n.(type) {
+	case *ast.GoStmt:
+		c.report(x, "go statement allocates a goroutine")
+	case *ast.FuncLit:
+		if capturesOuterLocals(c.p, x) {
+			c.report(x, "capturing closure allocates")
+		}
+	case *ast.CompositeLit:
+		switch c.litType(x).(type) {
+		case *types.Map:
+			c.report(x, "map literal allocates")
+		case *types.Slice:
+			c.report(x, "slice literal allocates")
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			if _, ok := stripParens(x.X).(*ast.CompositeLit); ok {
+				c.report(x, "&T{} literal escapes to the heap")
+			}
+		}
+	case *ast.BinaryExpr:
+		if x.Op == token.ADD && c.isStringExpr(x.X) {
+			c.report(x, "string concatenation allocates")
+		}
+	case *ast.AssignStmt:
+		if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && c.isStringExpr(x.Lhs[0]) {
+			c.report(x, "string concatenation allocates")
+		}
+		c.checkAssignBoxing(x)
+	case *ast.ReturnStmt:
+		c.checkReturnBoxing(x)
+	case *ast.CallExpr:
+		c.visitCall(x)
+	}
+	return true
+}
+
+func (c *noallocChecker) visitCall(call *ast.CallExpr) {
+	if sel, ok := stripParens(call.Fun).(*ast.SelectorExpr); ok {
+		if c.p.pkgPathOf(sel.X) == "fmt" {
+			c.report(call, "fmt.%s allocates", sel.Sel.Name)
+			return
+		}
+	}
+	switch {
+	case isBuiltin(c.p, call.Fun, "make"):
+		if !c.exempt[call] {
+			c.report(call, "make allocates")
+		}
+		return
+	case isBuiltin(c.p, call.Fun, "new"):
+		c.report(call, "new allocates")
+		return
+	case isBuiltin(c.p, call.Fun, "append"):
+		if !c.exempt[call] && !c.capOK {
+			c.report(call, "append may grow its backing array")
+		}
+		return
+	}
+	if tv, ok := c.p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		c.checkConversion(call, tv.Type)
+		return
+	}
+	c.checkCallBoxing(call)
+}
+
+// checkConversion flags string <-> []byte/[]rune conversions, which copy.
+func (c *noallocChecker) checkConversion(call *ast.CallExpr, to types.Type) {
+	from := c.p.Info.Types[call.Args[0]].Type
+	if from == nil {
+		return
+	}
+	if isStringType(to) && isByteOrRuneSlice(from) {
+		c.report(call, "[]byte-to-string conversion copies")
+	}
+	if isByteOrRuneSlice(to) && isStringType(from) {
+		c.report(call, "string-to-slice conversion copies")
+	}
+}
+
+// checkCallBoxing flags concrete non-pointer-shaped arguments passed to
+// interface parameters: the value is boxed on the heap at the call site.
+func (c *noallocChecker) checkCallBoxing(call *ast.CallExpr) {
+	tv, ok := c.p.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		if sig.Variadic() && i >= sig.Params().Len()-1 {
+			if call.Ellipsis != token.NoPos {
+				continue
+			}
+			param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		} else if i < sig.Params().Len() {
+			param = sig.Params().At(i).Type()
+		}
+		if param == nil {
+			continue
+		}
+		if c.boxes(arg, param) {
+			c.report(arg, "passing %s to interface parameter boxes it", types.ExprString(arg))
+		}
+	}
+}
+
+func (c *noallocChecker) checkReturnBoxing(ret *ast.ReturnStmt) {
+	fd := enclosingFuncDecl(c.p, ret)
+	if fd == nil || fd.Type.Results == nil {
+		return
+	}
+	var results []types.Type
+	for _, f := range fd.Type.Results.List {
+		t := c.p.Info.Types[f.Type].Type
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			results = append(results, t)
+		}
+	}
+	if len(ret.Results) != len(results) {
+		return
+	}
+	for i, r := range ret.Results {
+		if c.boxes(r, results[i]) {
+			c.report(r, "returning %s as interface boxes it", types.ExprString(r))
+		}
+	}
+}
+
+func (c *noallocChecker) checkAssignBoxing(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		lt := c.p.Info.Types[lhs].Type
+		if lt == nil {
+			continue
+		}
+		if c.boxes(as.Rhs[i], lt) {
+			c.report(as.Rhs[i], "assigning %s to interface boxes it", types.ExprString(as.Rhs[i]))
+		}
+	}
+}
+
+// boxes reports whether storing expr into a target of type to heap-boxes
+// it: to is a non-empty-or-empty interface, expr's concrete type is not
+// pointer-shaped, and expr isn't nil.
+func (c *noallocChecker) boxes(expr ast.Expr, to types.Type) bool {
+	if to == nil {
+		return false
+	}
+	if _, ok := to.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	tv, ok := c.p.Info.Types[expr]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return false
+	}
+	if _, ok := tv.Type.Underlying().(*types.Interface); ok {
+		return false // interface-to-interface: no new box
+	}
+	return !pointerShaped(tv.Type)
+}
+
+// pointerShaped reports whether values of t fit an interface word
+// without boxing: pointers, channels, maps, funcs, unsafe pointers.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func (c *noallocChecker) litType(lit *ast.CompositeLit) types.Type {
+	tv, ok := c.p.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	return tv.Type.Underlying()
+}
+
+func (c *noallocChecker) isStringExpr(e ast.Expr) bool {
+	tv, ok := c.p.Info.Types[e]
+	return ok && tv.Type != nil && isStringType(tv.Type)
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Uint8 || e.Kind() == types.Rune || e.Kind() == types.Int32)
+}
+
+// hasCapEvidence reports whether the body consults cap() anywhere — the
+// pool-managed-capacity idiom where appends stay within preallocated room.
+func hasCapEvidence(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := stripParens(call.Fun).(*ast.Ident); ok && id.Name == "cap" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// capturesOuterLocals reports whether a function literal references any
+// variable declared outside itself but inside the enclosing function —
+// the captures that force a heap-allocated closure.
+func capturesOuterLocals(p *Package, fl *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Parent() == nil {
+			return true
+		}
+		if v.Parent() == types.Universe || v.Parent() == p.Pkg.Scope() {
+			return true
+		}
+		if v.Pos() < fl.Pos() || v.Pos() > fl.End() {
+			captures = true
+			return false
+		}
+		return true
+	})
+	return captures
+}
+
+// enclosingFuncDecl finds the FuncDecl lexically containing n, skipping
+// cases where n sits inside a nested FuncLit (whose results differ).
+func enclosingFuncDecl(p *Package, n ast.Node) *ast.FuncDecl {
+	for _, f := range p.Files {
+		if n.Pos() < f.Pos() || n.Pos() > f.End() {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if n.Pos() < fd.Body.Pos() || n.Pos() > fd.Body.End() {
+				continue
+			}
+			// Inside a nested FuncLit the return belongs to the literal.
+			inLit := false
+			ast.Inspect(fd.Body, func(m ast.Node) bool {
+				if lit, ok := m.(*ast.FuncLit); ok {
+					if n.Pos() > lit.Pos() && n.End() <= lit.End() {
+						inLit = true
+					}
+					return false
+				}
+				return !inLit
+			})
+			if inLit {
+				return nil
+			}
+			return fd
+		}
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+// Package clockok is the clock analyzer's clean golden package, placed
+// inside the simulator scope: all time is injected by the caller in unix
+// seconds, never read from the host.
+package clockok
+
+// Sim advances on caller-injected deltas only.
+type Sim struct {
+	now int64
+}
+
+// Advance moves the simulated clock forward.
+func (s *Sim) Advance(d int64) { s.now += d }
+
+// Now returns the simulated time.
+func (s *Sim) Now() int64 { return s.now }
+
+// Deadline reports whether the injected timestamp has passed a budget.
+func Deadline(nowUnix, startUnix, budgetSecs int64) bool {
+	return nowUnix-startUnix > budgetSecs
+}

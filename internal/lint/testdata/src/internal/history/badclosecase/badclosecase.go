@@ -1,0 +1,73 @@
+// Package badclosecase exercises the discarded-close branch of the
+// durable analyzer: in the durability-owning packages a bare
+// f.Close()/f.Sync() whose error vanishes can silently lose acknowledged
+// bytes. Closing on the error path right before returning that error is
+// the sanctioned cleanup idiom.
+package badclosecase
+
+import (
+	"fmt"
+	"os"
+)
+
+// Flush discards the success-path close error while returning nil — the
+// flush failure the caller will never hear about.
+func Flush(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close() // cleanup on the error path: the write error returns next
+		return err
+	}
+	f.Close() // want `\[durable\] error from f\.Close is discarded`
+	return nil
+}
+
+// Checkpoint drops a Sync error mid-function.
+func Checkpoint(f *os.File, b []byte) error {
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	f.Sync() // want `\[durable\] error from f\.Sync is discarded`
+	return f.Close()
+}
+
+// FlushRight returns the close error instead of discarding it.
+func FlushRight(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Wrapped closes on the error path and returns a wrapped error — the
+// constructor never yields nil, so the cleanup exemption applies.
+func Wrapped(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return fmt.Errorf("flush %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Read closes a read-only file via defer: deferred closes are exempt
+// (no buffered writes to lose).
+func Read(path string, b []byte) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return f.Read(b)
+}

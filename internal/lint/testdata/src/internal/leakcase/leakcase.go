@@ -1,0 +1,47 @@
+// Package leakcase exercises the goroutine-leak analyzer: a `go`
+// statement whose function observes no context, channel, or WaitGroup
+// has no way to hear shutdown and outlives its component.
+package leakcase
+
+// Spin launches a literal that burns forever with no exit signal.
+func Spin() {
+	go func() { // want `\[leak\] goroutine observes no context, channel, or WaitGroup`
+		n := 0
+		for {
+			n++
+		}
+	}()
+}
+
+// tally is signal-free: launching it leaks.
+func tally(xs []int) {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+}
+
+// SpawnNamed launches a same-package function; the analyzer judges its
+// resolved body.
+func SpawnNamed(xs []int) {
+	go tally(xs) // want `\[leak\] goroutine observes no context, channel, or WaitGroup`
+}
+
+// Serve is the errc idiom: the goroutine reports through a channel, so
+// the spawner can always collect it.
+func Serve(run func() error) error {
+	errc := make(chan error, 1)
+	go func() { errc <- run() }()
+	return <-errc
+}
+
+// drain observes its jobs channel by ranging over it.
+func drain(jobs <-chan int) {
+	for range jobs {
+	}
+}
+
+// SpawnDrain launches a resolved body that ranges over a channel.
+func SpawnDrain(jobs <-chan int) {
+	go drain(jobs)
+}

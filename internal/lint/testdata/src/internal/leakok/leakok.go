@@ -1,0 +1,54 @@
+// Package leakok is the leak analyzer's clean golden package: every
+// sanctioned shutdown-signal idiom — context observation, done channels,
+// WaitGroups, and passing a signal into an external callee.
+package leakok
+
+import (
+	"context"
+	"sync"
+)
+
+// Workers is the full bounded-pool idiom: WaitGroup join plus a select
+// over the context and the jobs channel.
+func Workers(ctx context.Context, jobs <-chan int) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case j, ok := <-jobs:
+					if !ok {
+						return
+					}
+					_ = j
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Background closes a done channel so the spawner can wait for exit.
+func Background(work func()) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+// loop observes its context parameter.
+func loop(ctx context.Context) {
+	for ctx.Err() == nil {
+	}
+}
+
+// SpawnLoop launches a resolved body that watches its context.
+func SpawnLoop(ctx context.Context) {
+	go loop(ctx)
+}

@@ -1,0 +1,67 @@
+// Package lockscase exercises the locks analyzer positives: each CFG
+// shape the must-hold dataflow has to get right when it goes wrong — a
+// lock taken in only one branch, a write under the read lock, an access
+// after the in-loop unlock, and plain lockless access. The matching
+// clean shapes live in ../locksok.
+package lockscase
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+
+	rw sync.RWMutex
+	r  int // guarded by rw
+}
+
+// BranchMerge locks in one arm only: after the merge the mutex is not
+// held on every incoming path, so the access is unprotected.
+func BranchMerge(c *counter, cond bool) int {
+	if cond {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	return c.n // want `\[locks\] n is guarded by mu but accessed without holding it on every path`
+}
+
+// ReadLockWrite holds only the shared lock across a write: RLock never
+// licenses mutation.
+func ReadLockWrite(c *counter) {
+	c.rw.RLock()
+	c.r++ // want `\[locks\] r is guarded by rw but written while only the read lock is held`
+	c.rw.RUnlock()
+}
+
+// LoopUnlock unlocks inside the loop body without re-locking: the back
+// edge re-enters the body with the mutex released, so from the second
+// iteration on the access races.
+func LoopUnlock(c *counter, xs []int) int {
+	total := 0
+	c.mu.Lock()
+	for _, x := range xs {
+		total += c.n + x // want `\[locks\] n is guarded by mu but accessed without holding it on every path`
+		c.mu.Unlock()
+	}
+	return total
+}
+
+// NoLock writes with no lock in sight.
+func NoLock(c *counter) {
+	c.n = 1 // want `\[locks\] n is guarded by mu but accessed without holding it on every path`
+}
+
+// misannotated names a guard that is not a mutex sibling: the annotation
+// itself is the defect.
+type misannotated struct {
+	lock sync.Mutex
+	v    int // guarded by mux; // want `\[locks\] field annotated .guarded by mux. but misannotated\.mux is not a sync\.Mutex/RWMutex sibling`
+}
+
+// use keeps the types referenced so the package typechecks without
+// unused-variable noise.
+func use(m *misannotated) int {
+	m.lock.Lock()
+	defer m.lock.Unlock()
+	return m.v
+}

@@ -1,0 +1,87 @@
+// Package locksok is the locks analyzer's clean golden package: every
+// CFG edge case the analyzer must accept — defer-unlock with an early
+// return, a lock taken in both branches before the merge, shared reads
+// under RLock, re-locking inside a loop, fresh-constructor
+// initialization, and the *Locked caller-holds convention. None of these
+// may produce a finding.
+package locksok
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+
+	rw sync.RWMutex
+	r  int // guarded by rw
+}
+
+// DeferEarlyReturn holds the lock from entry to every exit via defer —
+// the early return leaves through the deferred unlock too.
+func DeferEarlyReturn(c *counter, stop bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if stop {
+		return 0
+	}
+	c.n++
+	return c.n
+}
+
+// BothBranches locks in each arm, so the merge still holds the mutex.
+func BothBranches(c *counter, cond bool) int {
+	if cond {
+		c.mu.Lock()
+	} else {
+		c.mu.Lock()
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// ReadShared reads under the shared lock: reads accept either mode.
+func ReadShared(c *counter) int {
+	c.rw.RLock()
+	n := c.r
+	c.rw.RUnlock()
+	return n
+}
+
+// WriteExcl writes under the exclusive lock of an RWMutex.
+func WriteExcl(c *counter) {
+	c.rw.Lock()
+	c.r++
+	c.rw.Unlock()
+}
+
+// Relock re-acquires inside the loop body, so every access — including
+// those reached along the back edge — is covered.
+func Relock(c *counter, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		c.mu.Lock()
+		total += c.n + x
+		c.mu.Unlock()
+	}
+	return total
+}
+
+// New initializes guarded fields on a freshly constructed object no
+// other goroutine can reach yet.
+func New(seed int) *counter {
+	c := &counter{}
+	c.n = seed
+	return c
+}
+
+// bumpLocked follows the caller-holds convention: the *Locked suffix
+// declares the receiver's mutexes held on entry.
+func (c *counter) bumpLocked() { c.n++ }
+
+// Bump takes the lock and delegates to the *Locked helper.
+func Bump(c *counter) {
+	c.mu.Lock()
+	c.bumpLocked()
+	c.mu.Unlock()
+}

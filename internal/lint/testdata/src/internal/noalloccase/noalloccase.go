@@ -1,0 +1,81 @@
+// Package noalloccase exercises the noalloc analyzer: every allocating
+// construct a //raqo:noalloc function must not contain. The Spawn case
+// also pins the multi-analyzer want form — one line carrying findings
+// from two different analyzers.
+package noalloccase
+
+import "fmt"
+
+type point struct{ x, y int }
+
+//raqo:noalloc
+func Format(n int) string {
+	return fmt.Sprintf("n=%d", n) // want `\[noalloc\] fmt\.Sprintf allocates in //raqo:noalloc Format`
+}
+
+//raqo:noalloc
+func Concat(a, b string) string {
+	return a + b // want `\[noalloc\] string concatenation allocates in //raqo:noalloc Concat`
+}
+
+//raqo:noalloc
+func ToBytes(s string) []byte {
+	return []byte(s) // want `\[noalloc\] string-to-slice conversion copies in //raqo:noalloc ToBytes`
+}
+
+//raqo:noalloc
+func FromBytes(b []byte) string {
+	return string(b) // want `\[noalloc\] \[\]byte-to-string conversion copies in //raqo:noalloc FromBytes`
+}
+
+//raqo:noalloc
+func Grow(xs []int, v int) []int {
+	return append(xs, v) // want `\[noalloc\] append may grow its backing array in //raqo:noalloc Grow`
+}
+
+//raqo:noalloc
+func NewMap() map[string]int {
+	return map[string]int{} // want `\[noalloc\] map literal allocates in //raqo:noalloc NewMap`
+}
+
+//raqo:noalloc
+func NewSlice() []int {
+	return []int{1, 2, 3} // want `\[noalloc\] slice literal allocates in //raqo:noalloc NewSlice`
+}
+
+//raqo:noalloc
+func Escape() *point {
+	return &point{} // want `\[noalloc\] &T\{\} literal escapes to the heap in //raqo:noalloc Escape`
+}
+
+//raqo:noalloc
+func Make(n int) []byte {
+	return make([]byte, n) // want `\[noalloc\] make allocates in //raqo:noalloc Make`
+}
+
+//raqo:noalloc
+func Box(v int) any {
+	return v // want `\[noalloc\] returning v as interface boxes it in //raqo:noalloc Box`
+}
+
+func sink(v any) { _ = v }
+
+//raqo:noalloc
+func PassBoxed(v point) {
+	sink(v) // want `\[noalloc\] passing v to interface parameter boxes it in //raqo:noalloc PassBoxed`
+}
+
+//raqo:noalloc
+func Capture(n int) func() int {
+	return func() int { return n } // want `\[noalloc\] capturing closure allocates in //raqo:noalloc Capture`
+}
+
+func idle() {}
+
+// Spawn's go statement draws findings from both the noalloc and the leak
+// analyzer on the same line — the multi-want marker form.
+//
+//raqo:noalloc
+func Spawn() {
+	go idle() // want `\[noalloc\] go statement allocates` `\[leak\] goroutine observes no context`
+}

@@ -1,0 +1,61 @@
+// Package noallocok is the noalloc analyzer's clean golden package: the
+// compiler-visible shapes that stay allocation-free and must never be
+// flagged — reslice-to-zero appends, make-splat extension, cap-checked
+// bounded appends, non-capturing literals, pointer-shaped interface
+// stores, and plain arithmetic on pooled buffers.
+package noallocok
+
+//raqo:noalloc
+func Reuse(buf []byte, b byte) []byte {
+	return append(buf[:0], b)
+}
+
+//raqo:noalloc
+func Extend(dst []byte, n int) []byte {
+	return append(dst, make([]byte, n)...)
+}
+
+//raqo:noalloc
+func Bounded(xs []int, v int) []int {
+	if len(xs) < cap(xs) {
+		xs = append(xs, v)
+	}
+	return xs
+}
+
+//raqo:noalloc
+func Hash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+var hook = func() int { return 0 }
+
+//raqo:noalloc
+func Static() int {
+	f := func() int { return 42 } // captures nothing: no closure object
+	return f() + hook()
+}
+
+type reader struct{ n int }
+
+func (r *reader) Read() int { return r.n }
+
+func sink(v any) { _ = v }
+
+//raqo:noalloc
+func PointerBox(r *reader) {
+	sink(r) // pointers fit the interface word: no box
+}
+
+//raqo:noalloc
+func Sum(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,32 @@
+// Package nondetok is the nondet analyzer's clean golden package:
+// explicitly seeded randomness and order-free slice iteration — the
+// deterministic idioms the rule exists to protect.
+package nondetok
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Jitter draws from a source seeded by the caller: reproducible.
+func Jitter(seed int64, n int) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.Float64()
+	}
+	return out
+}
+
+// Shuffle permutes deterministically under an injected *rand.Rand — the
+// blessed signature pattern.
+func Shuffle(r *rand.Rand, xs []int) {
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Ranked iterates a slice, already ordered: no map-order dependence.
+func Ranked(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,20 @@
+// Package ctxok is the ctx analyzer's clean golden package, inside the
+// optimizer scope: a search loop that observes its context every
+// iteration, so cancellation actually stops it.
+package ctxok
+
+import "context"
+
+// Search scans candidates, checking the context on each iteration.
+func Search(ctx context.Context, costs []float64) (int, error) {
+	best, bestCost := -1, 0.0
+	for i, c := range costs {
+		if err := ctx.Err(); err != nil {
+			return -1, err
+		}
+		if best < 0 || c < bestCost {
+			best, bestCost = i, c
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,39 @@
+// Package poolok is the pool analyzer's clean golden package: every
+// sanctioned reset idiom before a Put — a reset method, a clearing
+// field assignment, and putting back a freshly built value.
+package poolok
+
+import "sync"
+
+type buf struct {
+	b []byte
+}
+
+func (b *buf) reset() { b.b = b.b[:0] }
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+// Use resets via the method before returning the buffer.
+func Use(p []byte) int {
+	b := pool.Get().(*buf)
+	b.b = append(b.b, p...)
+	n := len(b.b)
+	b.reset()
+	pool.Put(b)
+	return n
+}
+
+// Manual clears the field inline — the truncate-and-return idiom.
+func Manual(p []byte) int {
+	b := pool.Get().(*buf)
+	b.b = append(b.b, p...)
+	n := len(b.b)
+	b.b = nil
+	pool.Put(b)
+	return n
+}
+
+// Fresh puts back a newly built value, which cannot carry stale state.
+func Fresh() {
+	pool.Put(new(buf))
+}

@@ -1,0 +1,43 @@
+// Package durableok is the durable analyzer's clean golden package: an
+// annotated handler with the journal-before-ack ordering exactly right,
+// plus an error writer that must never be classified as a success.
+package durableok
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// txJournal's Append is a durable write (Journal-typed receiver).
+type txJournal struct{}
+
+func (t *txJournal) Append(v int) error { return nil }
+
+// respond is the success writer.
+func respond(w http.ResponseWriter, v any) {
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// fail writes an error status: calling it is not an acknowledgement.
+func fail(w http.ResponseWriter, code int, msg string) {
+	w.WriteHeader(code)
+	_, _ = w.Write([]byte(msg))
+}
+
+// Handle journals before acknowledging, failing closed on error.
+//
+//raqo:ack
+func Handle(w http.ResponseWriter, j *txJournal) {
+	if err := j.Append(1); err != nil {
+		fail(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	respond(w, "ok")
+}
+
+// Status reports without any durable write and is correctly unannotated:
+// ackmark only demands the marker when durable writes are present.
+func Status(w http.ResponseWriter) {
+	respond(w, "alive")
+}

@@ -1,0 +1,23 @@
+// Package telemetryok is the telemetry analyzer's clean golden package:
+// constant metric names, constant label keys, and labels drawn from a
+// bounded same-package mapper.
+package telemetryok
+
+import "raqo/internal/telemetry"
+
+// Register declares metrics the sanctioned way.
+func Register(r *telemetry.Registry, code int) {
+	r.Counter("decisions_total", "total decisions").Inc()
+	v := r.CounterVec("results_total", "results by outcome", "outcome")
+	v.With("ok").Inc()
+	v.With(outcome(code)).Inc()
+	r.Histogram("plan_seconds", "planning latency", []float64{0.01, 0.1, 1})
+}
+
+// outcome maps a status to one of a fixed set of label values.
+func outcome(code int) string {
+	if code >= 400 {
+		return "error"
+	}
+	return "ok"
+}

@@ -1,0 +1,19 @@
+// Package unitsok is the units analyzer's clean golden package: sizes
+// cross the exported API as units.Bytes or unit-suffixed floats, and
+// container counts stay discrete.
+package unitsok
+
+import "raqo/internal/units"
+
+// Budget carries every size with its unit in the type or the name.
+type Budget struct {
+	Limit       units.Bytes
+	ContainerGB float64
+	Containers  int
+}
+
+// Fits reports whether want fits under the budget's limit.
+func Fits(b Budget, want units.Bytes) bool { return want <= b.Limit }
+
+// TotalGB is the sanctioned unit-suffixed float convention.
+func TotalGB(b Budget) float64 { return float64(b.Containers) * b.ContainerGB }

@@ -121,6 +121,8 @@ func (st *dpState) prepare(n int) {
 
 // release recycles the arena and drops all plan-node pointers so a pooled
 // state never retains a previous query's plans.
+//
+//raqo:noalloc
 func (st *dpState) release() {
 	st.arena.Reset()
 	for i := range st.leaves {
@@ -138,6 +140,7 @@ func (st *dpState) release() {
 	st.results = st.results[:0]
 }
 
+//raqo:noalloc
 func (st *dpState) get(mask uint32) (entry, bool) {
 	if st.useSlice {
 		e := st.slice[mask]
@@ -147,6 +150,7 @@ func (st *dpState) get(mask uint32) (entry, bool) {
 	return e, ok
 }
 
+//raqo:noalloc
 func (st *dpState) put(mask uint32, e entry) {
 	if st.useSlice {
 		st.slice[mask] = e

@@ -405,6 +405,8 @@ func (n *Node) SignatureWithResources() string {
 
 // resFingerprint folds the subtree's resource annotations (and enough
 // shape to anchor them to positions) into an FNV-1a hash.
+//
+//raqo:noalloc
 func (n *Node) resFingerprint(h uint64) uint64 {
 	const prime = 1099511628211
 	if n == nil {
@@ -422,8 +424,10 @@ func (n *Node) resFingerprint(h uint64) uint64 {
 	return h
 }
 
+//raqo:noalloc
 func floatBits(f float64) uint64 { return math.Float64bits(f) }
 
+//raqo:noalloc
 func mix64(h, v uint64) uint64 {
 	const prime = 1099511628211
 	for i := 0; i < 8; i++ {

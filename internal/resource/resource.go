@@ -287,8 +287,8 @@ const defaultStripes = 16
 // here plus the in-flight misses whose home bucket hashes here.
 type cacheShard struct {
 	mu      sync.RWMutex
-	indexes map[bucketKey]keyIndex
-	flights map[flightKey]*flight
+	indexes map[bucketKey]keyIndex // guarded by mu
+	flights map[flightKey]*flight  // guarded by mu
 }
 
 // bucketKey addresses one index: a cost model and one contiguous key range.

@@ -129,11 +129,13 @@ func NewArbiterStatsResponse(st arbiter.Stats) ArbiterStatsResponse {
 // serializes HTTP access to it.
 type arbiterState struct {
 	mu  sync.Mutex
-	arb *arbiter.Arbiter
+	arb *arbiter.Arbiter // guarded by mu
 }
 
 // Arbiter returns the server's workload arbiter (primarily for tests).
 // Callers must not use it concurrently with the HTTP handlers.
+//
+//raqolint:ignore locks test-only accessor; the doc contract forbids concurrent use
 func (s *Server) Arbiter() *arbiter.Arbiter { return s.arb.arb }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {

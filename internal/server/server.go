@@ -705,6 +705,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleFeedback ingests execution feedback. The 200 acknowledges
+// durability: every observation is journaled (via Feed) and the history
+// block committed before writeResult runs.
+//
+//raqo:ack
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	var req FeedbackRequest
 	if err := decodeBody(w, r, &req); err != nil {

@@ -121,8 +121,8 @@ type family struct {
 	buckets  []float64
 
 	mu     sync.Mutex
-	series []*series
-	byVal  map[string]*series
+	series []*series          // guarded by mu
+	byVal  map[string]*series // guarded by mu
 }
 
 func (f *family) get(label string) *series {
@@ -161,8 +161,8 @@ func (f *family) snapshot() []*series {
 // Registry holds metric families in registration order.
 type Registry struct {
 	mu       sync.Mutex
-	families []*family
-	byName   map[string]*family
+	families []*family          // guarded by mu
+	byName   map[string]*family // guarded by mu
 }
 
 // NewRegistry returns an empty registry.
