@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json bench-serve-json bench-lint-json bench-feedback bench-arbiter bench-hotpath bench-history alloc-check smoke smoke-feedback smoke-arbiter smoke-history lint lint-fix-check
+.PHONY: check fmt vet build test race bench bench-json bench-serve-json bench-lint-json bench-feedback bench-arbiter bench-hotpath bench-history bench-fleet alloc-check smoke smoke-feedback smoke-arbiter smoke-history smoke-fleet lint lint-fix-check
 
-check: fmt vet build lint lint-fix-check race alloc-check bench smoke smoke-feedback smoke-arbiter smoke-history
+check: fmt vet build lint lint-fix-check race alloc-check bench smoke smoke-feedback smoke-arbiter smoke-history smoke-fleet
 
 # Fail when any file needs gofmt.
 fmt:
@@ -78,6 +78,12 @@ bench-hotpath:
 bench-history:
 	RAQO_BENCH_JSON=1 $(GO) test -run TestWriteHistoryBenchJSON .
 
+# Record the fleet's multi-process scaling numbers (throughput, forwards,
+# hot-cache hit rate at 1/2/4 nodes plus the ring-lookup cost) in
+# BENCH_fleet.json. Spawns real serve processes.
+bench-fleet:
+	RAQO_BENCH_JSON=1 $(GO) test -run TestWriteFleetBenchJSON .
+
 # End-to-end smoke test: start `raqo serve` on an ephemeral port, hit
 # /healthz and /v1/optimize, then check the SIGTERM drain.
 smoke:
@@ -99,3 +105,10 @@ smoke-arbiter:
 # dir and verify the acknowledged points survived and query correctly.
 smoke-history:
 	sh scripts/smoke_history.sh
+
+# End-to-end fleet smoke test: three serve processes with static -peers
+# membership; checks deterministic routing, model convergence after a
+# recalibration on the journal shard, degraded answers under a hard kill,
+# and the drain.
+smoke-fleet:
+	sh scripts/smoke_fleet.sh

@@ -9,11 +9,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"raqo"
 	"raqo/internal/feedback"
+	"raqo/internal/fleet"
+	"raqo/internal/fleet/ring"
 	"raqo/internal/server"
 )
 
@@ -43,6 +46,9 @@ type serveSettings struct {
 	// the API port.
 	pprofAddr string
 	cfg       server.Config
+	// fleet, when fleet.NodeID is non-empty, wraps the server in a fleet
+	// routing node with the given static membership.
+	fleet fleet.Config
 }
 
 // parseServeFlags maps the serve flag set onto a server.Config. Admission
@@ -73,7 +79,15 @@ func parseServeFlags(args []string) (*serveSettings, error) {
 	recalInterval := fs.Duration("recal-interval", 0, "background recalibration check interval (0 = 30s, negative disables)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	arbCapacity := fs.Int("arbiter-capacity", 0, "container count of the workload arbiter's simulated pool (0 = 100)")
+	peers := fs.String("peers", "", "comma-separated host:port list of the other fleet nodes (enables fleet routing)")
+	nodeID := fs.String("node-id", "", "this node's advertised host:port on the fleet ring (required with -peers)")
+	fleetVNodes := fs.Int("fleet-vnodes", ring.DefaultVNodes, "virtual nodes per fleet member on the consistent-hash ring")
 	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+
+	fleetCfg, err := parseFleetFlags(*peers, *nodeID, *fleetVNodes)
+	if err != nil {
 		return nil, err
 	}
 
@@ -99,6 +113,7 @@ func parseServeFlags(args []string) (*serveSettings, error) {
 		planner:   *plannerName,
 		sf:        *sf,
 		pprofAddr: *pprofAddr,
+		fleet:     fleetCfg,
 		cfg: server.Config{
 			SF:               *sf,
 			Options:          opts,
@@ -124,6 +139,41 @@ func parseServeFlags(args []string) (*serveSettings, error) {
 			ArbiterCapacity:  *arbCapacity,
 		},
 	}, nil
+}
+
+// parseFleetFlags validates the fleet membership flags. An empty -node-id
+// with no -peers means fleet routing is off; -node-id alone runs a fleet
+// of one (useful for uniform harness configs); -peers without -node-id is
+// an error because peers cannot agree on ring placement for a node that
+// does not know its own advertised address.
+func parseFleetFlags(peers, nodeID string, vnodes int) (fleet.Config, error) {
+	var cfg fleet.Config
+	var list []string
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			list = append(list, p)
+		}
+	}
+	if nodeID == "" {
+		if len(list) > 0 {
+			return cfg, fmt.Errorf("-peers requires -node-id (this node's advertised host:port)")
+		}
+		return cfg, nil
+	}
+	if err := fleet.ValidateAddr(nodeID); err != nil {
+		return cfg, fmt.Errorf("-node-id: %w", err)
+	}
+	norm, err := fleet.NormalizePeers(nodeID, list)
+	if err != nil {
+		return cfg, fmt.Errorf("-peers: %w", err)
+	}
+	if vnodes < 1 {
+		return cfg, fmt.Errorf("-fleet-vnodes must be at least 1, got %d", vnodes)
+	}
+	cfg.NodeID = nodeID
+	cfg.Peers = norm
+	cfg.VNodes = vnodes
+	return cfg, nil
 }
 
 // serveCmd runs the long-running optimizer service: the RAQO component of
@@ -159,6 +209,16 @@ func serveCmd(args []string) error {
 			_ = ps.Close()
 			<-pprofDone
 		}()
+	}
+	if st.fleet.NodeID != "" {
+		node, err := fleet.NewNode(st.fleet, s)
+		if err != nil {
+			return err
+		}
+		return node.Serve(ctx, st.addr, func(bound string) {
+			fmt.Printf("raqo serve: listening on %s (planner %s, sf %g, fleet node %s, %d peers)\n",
+				bound, st.planner, st.sf, st.fleet.NodeID, len(st.fleet.Peers))
+		})
 	}
 	return s.Serve(ctx, st.addr, func(bound string) {
 		fmt.Printf("raqo serve: listening on %s (planner %s, sf %g)\n", bound, st.planner, st.sf)

@@ -165,3 +165,68 @@ func TestParseServeFlagsArbiterAndPprof(t *testing.T) {
 		t.Errorf("pprof index status = %d", rw.Code)
 	}
 }
+
+// TestParseServeFlagsFleet maps the fleet membership flags: -peers and
+// -node-id build a normalized fleet.Config, and the flags default to
+// fleet-off so plain `raqo serve` is unchanged.
+func TestParseServeFlagsFleet(t *testing.T) {
+	st, err := parseServeFlags([]string{"-trained=false"})
+	if err != nil {
+		t.Fatalf("parseServeFlags: %v", err)
+	}
+	if st.fleet.NodeID != "" || len(st.fleet.Peers) != 0 {
+		t.Errorf("fleet should default off, got %+v", st.fleet)
+	}
+
+	st, err = parseServeFlags([]string{
+		"-node-id", "127.0.0.1:7001",
+		"-peers", "127.0.0.1:7002, 127.0.0.1:7001 ,127.0.0.1:7003",
+		"-fleet-vnodes", "16", "-trained=false",
+	})
+	if err != nil {
+		t.Fatalf("parseServeFlags: %v", err)
+	}
+	if st.fleet.NodeID != "127.0.0.1:7001" {
+		t.Errorf("NodeID = %q", st.fleet.NodeID)
+	}
+	// The self entry is dropped and whitespace trimmed.
+	if len(st.fleet.Peers) != 2 || st.fleet.Peers[0] != "127.0.0.1:7002" || st.fleet.Peers[1] != "127.0.0.1:7003" {
+		t.Errorf("Peers = %v, want the two non-self addresses", st.fleet.Peers)
+	}
+	if st.fleet.VNodes != 16 {
+		t.Errorf("VNodes = %d, want 16", st.fleet.VNodes)
+	}
+
+	// A node may advertise itself with no peers: a fleet of one.
+	st, err = parseServeFlags([]string{"-node-id", "127.0.0.1:7001", "-trained=false"})
+	if err != nil {
+		t.Fatalf("parseServeFlags: %v", err)
+	}
+	if st.fleet.NodeID != "127.0.0.1:7001" || len(st.fleet.Peers) != 0 {
+		t.Errorf("single-node fleet = %+v", st.fleet)
+	}
+}
+
+// TestParseServeFlagsFleetValidation pins the rejection cases: peers
+// without an identity, malformed or duplicate addresses, and degenerate
+// ring weights.
+func TestParseServeFlagsFleetValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"peers without node-id", []string{"-peers", "127.0.0.1:7002"}},
+		{"bad node-id", []string{"-node-id", "no-port", "-peers", "127.0.0.1:7002"}},
+		{"peer without port", []string{"-node-id", "127.0.0.1:7001", "-peers", "localhost"}},
+		{"peer without host", []string{"-node-id", "127.0.0.1:7001", "-peers", ":7002"}},
+		{"peer port out of range", []string{"-node-id", "127.0.0.1:7001", "-peers", "127.0.0.1:70000"}},
+		{"duplicate peers", []string{"-node-id", "127.0.0.1:7001", "-peers", "127.0.0.1:7002,127.0.0.1:7002"}},
+		{"zero vnodes", []string{"-node-id", "127.0.0.1:7001", "-fleet-vnodes", "0"}},
+	}
+	for _, tc := range cases {
+		args := append(tc.args, "-trained=false")
+		if _, err := parseServeFlags(args); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

@@ -52,6 +52,9 @@ type Recalibration struct {
 	Carried    []string      // algorithms carried over from the prior version (sorted)
 	CacheReset bool          // whether the resource-plan cache generation advanced
 	Duration   time.Duration // wall time of the train+swap
+	// Installed marks a swap that adopted an externally trained set (a
+	// fleet peer's publication) rather than retraining locally.
+	Installed bool
 }
 
 // Recalibrator owns the live cost-model version and performs online
@@ -227,6 +230,45 @@ func (r *Recalibrator) Recalibrate() (Recalibration, error) {
 	r.recals.Add(1)
 	r.lastrecalSecs.store(rec.Duration.Seconds())
 	return rec, nil
+}
+
+// Install adopts an externally trained model set — a fleet peer's
+// published recalibration — as the live version, under the same
+// CAS-generation discipline as Recalibrate: the resource-plan cache
+// observed before the swap is invalidated exactly once, OnSwap hooks fire
+// so every optimizer sharing this recalibrator repoints at the new set,
+// and the drift detector resets (its windows were measured against the
+// displaced models). The version guard makes Install idempotent: a set at
+// or below the live version is ignored (returns false), so a node that
+// receives the same publication twice — once pushed, once pulled by its
+// prober — invalidates its cache only once.
+func (r *Recalibrator) Install(version uint64, models *cost.Models, trainedOn int) bool {
+	if models == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.cur.Load()
+	if version <= cur.Version {
+		return false
+	}
+	start := time.Now()
+	var gen0 uint64
+	if r.Cache != nil {
+		gen0 = r.Cache.Stats().Generation
+	}
+	info := &ModelInfo{Version: version, Models: models, TrainedOn: trainedOn}
+	r.cur.Store(info)
+	rec := Recalibration{Version: version, Samples: trainedOn, Installed: true}
+	if r.Cache != nil {
+		rec.CacheReset = r.Cache.ResetIfGeneration(gen0)
+	}
+	rec.Duration = time.Since(start)
+	for _, fn := range r.onSwap {
+		fn(rec, info)
+	}
+	r.det.Reset()
+	return true
 }
 
 // Loop runs drift-gated recalibration every interval until ctx is

@@ -444,3 +444,98 @@ func TestConcurrentFeedAndRecalibrate(t *testing.T) {
 		t.Error("version went backwards")
 	}
 }
+
+// TestInstallAdoptsRemoteModels covers the fleet-distribution path:
+// Install swaps a peer-published model set in exactly once — the cache
+// generation advances on the first install, OnSwap hooks fire with
+// Installed set, and re-installing the same or an older version is a
+// no-op (no second cache invalidation, version unchanged).
+func TestInstallAdoptsRemoteModels(t *testing.T) {
+	rec, truth := newRecalibrator(t, nil)
+	cache := &resource.Cache{Inner: &resource.HillClimb{}}
+	// Populate the cache so the install has something to invalidate.
+	m, _ := truth.For(plan.SMJ)
+	if _, err := cache.Plan(m, 10, cluster.Default()); err != nil {
+		t.Fatal(err)
+	}
+	rec.Cache = cache
+
+	var swaps []Recalibration
+	rec.OnSwap(func(r Recalibration, info *ModelInfo) {
+		swaps = append(swaps, r)
+		if info.Version != r.Version {
+			t.Errorf("OnSwap info version %d != recalibration version %d", info.Version, r.Version)
+		}
+	})
+
+	gen0 := cache.Stats().Generation
+	remote := cost.NewModels()
+	for _, a := range plan.Algos {
+		src, _ := truth.For(a)
+		reg := src.(*cost.Regression)
+		remote.Set(a, cost.NewRegression(fmt.Sprintf("fb7-%s", a), reg.Linear))
+	}
+
+	if !rec.Install(7, remote, 42) {
+		t.Fatal("Install of a newer version returned false")
+	}
+	cur := rec.Current()
+	if cur.Version != 7 || cur.TrainedOn != 42 || cur.Models != remote {
+		t.Fatalf("Current = %+v after install", cur)
+	}
+	if got := cache.Stats().Generation; got != gen0+1 {
+		t.Errorf("cache generation = %d, want %d (exactly one bump)", got, gen0+1)
+	}
+	if len(swaps) != 1 || !swaps[0].Installed || !swaps[0].CacheReset {
+		t.Fatalf("swaps = %+v, want one installed swap with CacheReset", swaps)
+	}
+
+	// Idempotence: same version again, then an older one.
+	if rec.Install(7, remote, 42) {
+		t.Error("re-installing the live version returned true")
+	}
+	if rec.Install(3, remote, 1) {
+		t.Error("installing an older version returned true")
+	}
+	if rec.Install(9, nil, 0) {
+		t.Error("installing a nil model set returned true")
+	}
+	if got := cache.Stats().Generation; got != gen0+1 {
+		t.Errorf("cache generation moved to %d on rejected installs", got)
+	}
+	if len(swaps) != 1 {
+		t.Errorf("OnSwap fired %d times, want 1", len(swaps))
+	}
+	if rec.Current().Version != 7 {
+		t.Errorf("version = %d after rejected installs, want 7", rec.Current().Version)
+	}
+}
+
+// TestInstallThenRecalibrateContinuesVersions checks that a local
+// recalibration after an install picks up from the installed version, so
+// fleet-wide version numbers stay monotonic no matter where a
+// recalibration runs.
+func TestInstallThenRecalibrateContinuesVersions(t *testing.T) {
+	rec, truth := newRecalibrator(t, nil)
+	remote := cost.NewModels()
+	for _, a := range plan.Algos {
+		src, _ := truth.For(a)
+		remote.Set(a, cost.NewRegression(fmt.Sprintf("fb5-%s", a), src.(*cost.Regression).Linear))
+	}
+	if !rec.Install(5, remote, 10) {
+		t.Fatal("install failed")
+	}
+	feedGrid(t, rec)
+	r, err := rec.Recalibrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Version != 6 {
+		t.Errorf("post-install recalibration version = %d, want 6", r.Version)
+	}
+	for _, name := range rec.Current().ModelNames() {
+		if !strings.HasPrefix(name, "fb6-") {
+			t.Errorf("model %q not renamed to the fb6 version", name)
+		}
+	}
+}

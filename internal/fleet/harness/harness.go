@@ -1,0 +1,329 @@
+// Package harness spawns and supervises a localhost fleet of real `raqo
+// serve` processes: N OS processes, each a full optimizer service wrapped
+// in a fleet routing node, wired together with static -peers membership.
+// It exists for the multi-process integration layer — the smoke script and
+// the scaling benchmark — where in-process tests would not exercise
+// process isolation, real TCP forwarding, or crash/restart behavior.
+//
+// The address chicken-and-egg (every node must know the full membership
+// before any node has bound a port) is resolved the same way a static
+// deployment would: ports are reserved up front by binding ephemeral
+// listeners, recording their addresses, and releasing them just before the
+// processes launch.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// readyPrefix is the line `raqo serve` prints once its listener is bound.
+const readyPrefix = "raqo serve: listening on "
+
+// Build compiles the raqo CLI into dir and returns the binary path. The
+// module package path (rather than a relative one) keeps the build working
+// from any working directory inside the module.
+func Build(dir string) (string, error) {
+	bin := filepath.Join(dir, "raqo")
+	cmd := exec.Command(goTool(), "build", "-o", bin, "raqo/cmd/raqo")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("harness: build raqo: %v\n%s", err, out)
+	}
+	return bin, nil
+}
+
+func goTool() string {
+	if g := os.Getenv("GO"); g != "" {
+		return g
+	}
+	return "go"
+}
+
+// Options configures a fleet launch.
+type Options struct {
+	// Nodes is the fleet size; at least 1.
+	Nodes int
+	// Bin is a prebuilt raqo binary. Empty means Build into Dir.
+	Bin string
+	// Dir holds per-node logs (and the binary when Bin is empty). Empty
+	// means a temp dir that Stop removes.
+	Dir string
+	// Args is appended to every node's `serve` argument list, after the
+	// harness-owned -addr/-node-id/-peers flags.
+	Args []string
+	// NodeArgs, when set, appends per-node arguments (e.g. a per-node
+	// journal path).
+	NodeArgs func(i int) []string
+	// ReadyTimeout bounds the wait for each node's ready line; default 30s.
+	ReadyTimeout time.Duration
+}
+
+// Node is one supervised `raqo serve` process.
+type Node struct {
+	// Addr is the node's fixed host:port — its listen address and its
+	// fleet node ID.
+	Addr    string
+	logPath string
+	args    []string
+	bin     string
+
+	cmd  *exec.Cmd
+	done chan error // receives cmd.Wait's result; nil when not running
+}
+
+// Fleet is a running set of raqo serve processes.
+type Fleet struct {
+	// Bin is the binary every node runs; reusable across fleets.
+	Bin string
+
+	dir    string
+	ownDir bool
+	nodes  []*Node
+	ready  time.Duration
+}
+
+// Start builds (if needed) and launches an n-node fleet, returning once
+// every node has printed its ready line. On error, any processes already
+// started are killed.
+func Start(opts Options) (*Fleet, error) {
+	if opts.Nodes < 1 {
+		return nil, fmt.Errorf("harness: need at least 1 node, got %d", opts.Nodes)
+	}
+	f := &Fleet{Bin: opts.Bin, dir: opts.Dir, ready: opts.ReadyTimeout}
+	if f.ready <= 0 {
+		f.ready = 30 * time.Second
+	}
+	if f.dir == "" {
+		dir, err := os.MkdirTemp("", "raqo-fleet-*")
+		if err != nil {
+			return nil, err
+		}
+		f.dir = dir
+		f.ownDir = true
+	}
+	if f.Bin == "" {
+		bin, err := Build(f.dir)
+		if err != nil {
+			f.cleanupDir()
+			return nil, err
+		}
+		f.Bin = bin
+	}
+
+	addrs, err := reservePorts(opts.Nodes)
+	if err != nil {
+		f.cleanupDir()
+		return nil, err
+	}
+	for i := 0; i < opts.Nodes; i++ {
+		peers := make([]string, 0, opts.Nodes-1)
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		args := []string{"serve", "-addr", addrs[i], "-node-id", addrs[i]}
+		if len(peers) > 0 {
+			args = append(args, "-peers", strings.Join(peers, ","))
+		}
+		args = append(args, opts.Args...)
+		if opts.NodeArgs != nil {
+			args = append(args, opts.NodeArgs(i)...)
+		}
+		f.nodes = append(f.nodes, &Node{
+			Addr:    addrs[i],
+			logPath: filepath.Join(f.dir, fmt.Sprintf("node%d.log", i)),
+			args:    args,
+			bin:     f.Bin,
+		})
+	}
+	for i := range f.nodes {
+		if err := f.nodes[i].start(f.ready); err != nil {
+			_ = f.Stop()
+			return nil, fmt.Errorf("harness: node %d: %w", i, err)
+		}
+	}
+	return f, nil
+}
+
+// reservePorts binds n ephemeral localhost listeners, records their
+// addresses and releases them. The released ports are what the nodes
+// re-bind; on a quiet host the window for another process to steal one is
+// negligible, and a steal fails loudly at node startup.
+func reservePorts(n int) ([]string, error) {
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			_ = ln.Close()
+		}
+	}()
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	return addrs, nil
+}
+
+// start launches the node's process and waits for its ready line.
+func (n *Node) start(readyTimeout time.Duration) error {
+	logf, err := os.OpenFile(n.logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	// A restarted node appends to its previous log; remember where this
+	// launch's output starts so the old ready line cannot satisfy the wait.
+	logStart, err := logf.Seek(0, io.SeekEnd)
+	if err != nil {
+		_ = logf.Close()
+		return err
+	}
+	cmd := exec.Command(n.bin, n.args...)
+	cmd.Stdout = logf
+	cmd.Stderr = logf
+	if err := cmd.Start(); err != nil {
+		_ = logf.Close()
+		return err
+	}
+	_ = logf.Close() // the child holds its own descriptor
+	n.cmd = cmd
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	n.done = done
+	return n.awaitReady(logStart, readyTimeout)
+}
+
+// awaitReady polls the node's log, past offset, for the serve ready line.
+func (n *Node) awaitReady(offset int64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if log, err := os.ReadFile(n.logPath); err == nil && int64(len(log)) > offset {
+			if strings.Contains(string(log[offset:]), readyPrefix) {
+				return nil
+			}
+		}
+		select {
+		case err := <-n.done:
+			n.done = nil
+			return fmt.Errorf("process exited before ready (%v)\n%s", err, n.Log())
+		default:
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("not ready after %v\n%s", timeout, n.Log())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Log returns the node's combined output so far.
+func (n *Node) Log() string {
+	b, err := os.ReadFile(n.logPath)
+	if err != nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Running reports whether the node's process is still alive.
+func (n *Node) Running() bool {
+	if n.done == nil {
+		return false
+	}
+	select {
+	case <-n.done:
+		n.done = nil
+		return false
+	default:
+		return true
+	}
+}
+
+// stop terminates the process: SIGTERM first, escalating to SIGKILL after
+// the grace period.
+func (n *Node) stop(grace time.Duration) error {
+	if n.done == nil {
+		return nil
+	}
+	_ = n.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case <-n.done:
+		n.done = nil
+		return nil
+	case <-time.After(grace):
+	}
+	_ = n.cmd.Process.Kill()
+	<-n.done
+	n.done = nil
+	return fmt.Errorf("harness: node %s did not drain within %v; killed", n.Addr, grace)
+}
+
+// Nodes returns the fleet members in launch order.
+func (f *Fleet) Nodes() []*Node { return f.nodes }
+
+// Addrs lists every node's host:port in launch order.
+func (f *Fleet) Addrs() []string {
+	out := make([]string, len(f.nodes))
+	for i, n := range f.nodes {
+		out[i] = n.Addr
+	}
+	return out
+}
+
+// Addr returns node i's host:port.
+func (f *Fleet) Addr(i int) string { return f.nodes[i].Addr }
+
+// Kill forcibly terminates node i (SIGKILL — a crash, not a drain).
+func (f *Fleet) Kill(i int) error {
+	n := f.nodes[i]
+	if n.done == nil {
+		return nil
+	}
+	if err := n.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	<-n.done
+	n.done = nil
+	return nil
+}
+
+// Restart relaunches node i with its original arguments (same port, same
+// membership) and waits for its ready line.
+func (f *Fleet) Restart(i int) error {
+	n := f.nodes[i]
+	if n.done != nil {
+		return fmt.Errorf("harness: node %d still running", i)
+	}
+	return n.start(f.ready)
+}
+
+// Stop drains every running node and removes the scratch directory when
+// the harness created it. The first drain failure is reported; remaining
+// nodes are still stopped.
+func (f *Fleet) Stop() error {
+	var firstErr error
+	for _, n := range f.nodes {
+		if err := n.stop(10 * time.Second); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	f.cleanupDir()
+	return firstErr
+}
+
+func (f *Fleet) cleanupDir() {
+	if f.ownDir {
+		_ = os.RemoveAll(f.dir)
+		f.ownDir = false
+	}
+}

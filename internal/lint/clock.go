@@ -11,9 +11,15 @@ import (
 // the storage side: every timestamp is injected by the caller (wall in
 // the server, virtual under the arbiter), so the store itself must never
 // consult host time — that is what makes its files byte-reproducible.
+// internal/fleet/ring is in scope because every fleet member must compute
+// byte-identical key placement from the membership alone; a wall-clock
+// (or any host-state) input would let two nodes disagree on an owner and
+// break single-hop forwarding. The surrounding internal/fleet package is
+// deliberately NOT in scope: probing, forwarding timeouts and propagation
+// lag are real wall-clock concerns there.
 var clockScopes = []string{
 	"internal/cluster", "internal/execsim", "internal/scheduler",
-	"internal/arbiter", "internal/history",
+	"internal/arbiter", "internal/history", "internal/fleet/ring",
 }
 
 // wallClockFuncs are the time-package calls that read or wait on the wall

@@ -1,0 +1,48 @@
+// Package fleetcase exercises the analyzers extended to the fleet layer.
+// It sits inside the internal/fleet/ring clock scope: ring placement must
+// be a pure function of the membership so every node computes identical
+// owners, which makes any wall-clock read a finding. The leak rule is
+// module-wide and catches the fire-and-forget probe goroutine idiom the
+// fleet layer is most tempted by.
+package fleetcase
+
+import "time"
+
+// point is a hash-ring entry.
+type point struct {
+	hash uint64
+	node string
+}
+
+// SeedFromClock salts the virtual-node hashes with the boot time — two
+// nodes booting at different moments would place keys differently and
+// forwarding would chain instead of landing in one hop.
+func SeedFromClock() uint64 {
+	return uint64(time.Now().UnixNano()) // want `\[clock\] time.Now reads the wall clock`
+}
+
+// RebalanceEvery rebuilds the ring on a host-time ticker instead of on
+// membership changes.
+func RebalanceEvery(points []point) {
+	for range time.Tick(time.Minute) { // want `\[clock\] time.Tick reads the wall clock`
+		shuffle(points)
+	}
+}
+
+// ProbeForever launches a peer-probe loop with no shutdown signal: when
+// the node drains, the goroutine keeps dialing dead peers.
+func ProbeForever(peers []string, dial func(string)) {
+	go func() { // want `\[leak\] goroutine observes no context, channel, or WaitGroup`
+		for {
+			for _, p := range peers {
+				dial(p)
+			}
+		}
+	}()
+}
+
+func shuffle(points []point) {
+	for i := range points {
+		points[i].hash++
+	}
+}

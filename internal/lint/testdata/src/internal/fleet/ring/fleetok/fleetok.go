@@ -1,0 +1,39 @@
+// Package fleetok is the fleet layer's clean golden package: ring
+// placement as a pure function of membership (no wall clock anywhere),
+// and a probe loop that observes a done channel so shutdown can reach it.
+package fleetok
+
+import "sort"
+
+// point is a hash-ring entry.
+type point struct {
+	hash uint64
+	node string
+}
+
+// Place computes an owner from the membership alone: deterministic input,
+// deterministic output, nothing host-dependent in scope.
+func Place(points []point, key uint64) string {
+	i := sort.Search(len(points), func(i int) bool { return points[i].hash >= key })
+	if i == len(points) {
+		i = 0
+	}
+	return points[i].node
+}
+
+// Probe dials peers until the done channel closes — the goroutine is
+// collectable on drain.
+func Probe(done <-chan struct{}, peers []string, dial func(string)) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			for _, p := range peers {
+				dial(p)
+			}
+		}
+	}()
+}

@@ -385,6 +385,19 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // the listener is up — the hook ephemeral-port callers (smoke tests)
 // need.
 func (s *Server) Serve(ctx context.Context, addr string, ready func(addr string)) error {
+	return s.ServeHandler(ctx, addr, nil, ready)
+}
+
+// ServeHandler is Serve with the front handler swapped out: handler (nil
+// selects the server's own mux) receives every request while the server
+// still owns the listener lifecycle and its background loops
+// (recalibration, telemetry gather, graceful drain). This is how the
+// fleet layer interposes its routing mux in front of a node's local
+// handlers without duplicating the serve loop.
+func (s *Server) ServeHandler(ctx context.Context, addr string, handler http.Handler, ready func(addr string)) error {
+	if handler == nil {
+		handler = s.mux
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -432,7 +445,7 @@ func (s *Server) Serve(ctx context.Context, addr string, ready func(addr string)
 		_ = s.Close()
 	}()
 
-	hs := &http.Server{Handler: s.mux}
+	hs := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {
