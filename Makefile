@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json bench-serve-json bench-lint-json bench-feedback bench-arbiter bench-hotpath bench-history bench-fleet alloc-check smoke smoke-feedback smoke-arbiter smoke-history smoke-fleet lint lint-fix-check
+.PHONY: check fmt vet build test race bench bench-json bench-serve-json bench-lint-json bench-feedback bench-arbiter bench-hotpath bench-history bench-fleet bench-cloud alloc-check smoke smoke-feedback smoke-arbiter smoke-history smoke-fleet smoke-cloud lint lint-fix-check
 
-check: fmt vet build lint lint-fix-check race alloc-check bench smoke smoke-feedback smoke-arbiter smoke-history smoke-fleet
+check: fmt vet build lint lint-fix-check race alloc-check bench smoke smoke-feedback smoke-arbiter smoke-history smoke-fleet smoke-cloud
 
 # Fail when any file needs gofmt.
 fmt:
@@ -84,6 +84,12 @@ bench-history:
 bench-fleet:
 	RAQO_BENCH_JSON=1 $(GO) test -run TestWriteFleetBenchJSON .
 
+# Record the cloud arbiter's replay throughput (arrivals/sec), the
+# preemption-recovery round-trip cost and the per-step autoscaler
+# overhead in BENCH_cloud.json.
+bench-cloud:
+	RAQO_BENCH_JSON=1 $(GO) test -run TestWriteCloudBenchJSON .
+
 # End-to-end smoke test: start `raqo serve` on an ephemeral port, hit
 # /healthz and /v1/optimize, then check the SIGTERM drain.
 smoke:
@@ -112,3 +118,9 @@ smoke-history:
 # and the drain.
 smoke-fleet:
 	sh scripts/smoke_fleet.sh
+
+# End-to-end cloud-economics smoke test: serve with a seeded priced pool
+# and the autoscaler on, submit onto the spot tier, fire a preemption
+# storm, verify zero-loss recovery on drain and the cloud metrics.
+smoke-cloud:
+	sh scripts/smoke_cloud.sh

@@ -1,0 +1,289 @@
+// Benchmarks for the cloud arbiter: a full seeded priced-pool replay
+// (static market and elastic+faulty market), and the online
+// preempt-and-recover round trip. Run with:
+//
+//	go test -bench Cloud -benchtime=0.2s .
+//
+// RAQO_BENCH_JSON=1 go test -run TestWriteCloudBenchJSON records the
+// numbers — arrivals/sec, the preemption-recovery round-trip cost and
+// the per-scale-event overhead of the autoscaler loop — in
+// BENCH_cloud.json.
+package raqo_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"raqo/internal/catalog"
+	"raqo/internal/cloud"
+	"raqo/internal/cluster"
+	"raqo/internal/core"
+	"raqo/internal/cost"
+	"raqo/internal/execsim"
+	"raqo/internal/plan"
+	"raqo/internal/workload"
+)
+
+var (
+	benchCloudOnce    sync.Once
+	benchCloudModels  *cost.Models
+	benchCloudQueries map[string]*plan.Query
+	benchCloudErr     error
+)
+
+func benchCloudFixtures(tb testing.TB) (*cost.Models, map[string]*plan.Query) {
+	tb.Helper()
+	benchCloudOnce.Do(func() {
+		benchCloudModels, benchCloudErr = workload.TrainedModels(execsim.Hive())
+		if benchCloudErr != nil {
+			return
+		}
+		benchCloudQueries, benchCloudErr = workload.TPCHQueries(catalog.TPCH(100))
+	})
+	if benchCloudErr != nil {
+		tb.Fatal(benchCloudErr)
+	}
+	return benchCloudModels, benchCloudQueries
+}
+
+// newBenchCloud builds a two-tier 12+24 market arbiter; elastic puts the
+// spot class under the autoscaler and faulty seeds spot interruption.
+func newBenchCloud(tb testing.TB, elastic, faulty bool) *cloud.Arbiter {
+	tb.Helper()
+	models, queries := benchCloudFixtures(tb)
+	engine := execsim.Hive()
+	opt, err := core.New(cluster.Default(), core.Options{
+		Models:       models,
+		Engine:       &engine,
+		MemoizeCosts: true,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	market := cloud.DefaultMarket(12, 24, 0.7)
+	var scaler cloud.AutoscalerConfig
+	if elastic {
+		market.Classes[1].Count = 8
+		market.Classes[1].MinCount = 4
+		market.Classes[1].MaxCount = 48
+		scaler = cloud.AutoscalerConfig{Enabled: true}
+	}
+	var faults cloud.FaultConfig
+	if faulty {
+		faults = cloud.FaultConfig{Seed: 7, SpotMeanLifeSeconds: 7200}
+	}
+	a, err := cloud.New(cloud.Config{
+		Market:    market,
+		Base:      cluster.Default(),
+		Engine:    execsim.Hive(),
+		Pricing:   cost.DefaultPricing(),
+		Optimizer: opt,
+		Queries:   queries,
+		Tenants: []cloud.TenantConfig{
+			{Name: "etl", Weight: 2},
+			{Name: "bi", Weight: 1},
+			{Name: "adhoc", Weight: 1},
+		},
+		Faults:     faults,
+		Autoscaler: scaler,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return a
+}
+
+// benchCloudTrace is the seeded 24-query bursty stream every iteration
+// replays identically.
+func benchCloudTrace(tb testing.TB) []cloud.Arrival {
+	tb.Helper()
+	trace, err := cloud.GenerateTrace(cloud.TraceConfig{
+		Seed:                42,
+		Arrivals:            24,
+		MeanIntervalSeconds: 600,
+		Shape:               cloud.Bursty,
+		Tenants:             []cloud.Share{{Name: "etl", Weight: 2}, {Name: "bi", Weight: 1}, {Name: "adhoc", Weight: 1}},
+		Mix: []cloud.Share{
+			{Name: workload.Q12, Weight: 4},
+			{Name: workload.Q3, Weight: 3},
+			{Name: workload.Q2, Weight: 2},
+			{Name: workload.All, Weight: 1},
+		},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return trace
+}
+
+// runBenchCloud replays the trace end to end and drains the pool.
+func runBenchCloud(b *testing.B, a *cloud.Arbiter, trace []cloud.Arrival) {
+	b.Helper()
+	if _, err := a.Run(trace); err != nil {
+		b.Fatal(err)
+	}
+	if err := a.Drain(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCloudWorkload replays the seeded stream through a fresh
+// arbiter per iteration — admission over the class-preference order,
+// priced-pool bookkeeping and (in the elastic case) the autoscaler loop
+// plus seeded spot interruptions and their recoveries.
+func BenchmarkCloudWorkload(b *testing.B) {
+	for _, c := range []struct {
+		name            string
+		elastic, faulty bool
+	}{
+		{"static", false, false},
+		{"autoscaler", true, true},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			trace := benchCloudTrace(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				a := newBenchCloud(b, c.elastic, c.faulty)
+				b.StartTimer()
+				runBenchCloud(b, a, trace)
+			}
+		})
+	}
+}
+
+// BenchmarkCloudPreemptRecover measures one full preemption-recovery
+// round trip on a warm arbiter: admit a query onto spot, revoke it with
+// a storm, and drain until the recovery policy has re-admitted and
+// finished it.
+func BenchmarkCloudPreemptRecover(b *testing.B) {
+	a := newBenchCloud(b, false, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.SubmitWait("etl", workload.Q12, cloud.RecoverReoptimize); err != nil {
+			b.Fatal(err)
+		}
+		if n, err := a.PreemptFraction(1); err != nil || n != 1 {
+			b.Fatalf("revoked %d, err %v", n, err)
+		}
+		if err := a.Drain(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestWriteCloudBenchJSON records the cloud benchmarks in
+// BENCH_cloud.json. Gated behind RAQO_BENCH_JSON=1 because it runs the
+// suite via testing.Benchmark.
+func TestWriteCloudBenchJSON(t *testing.T) {
+	if os.Getenv("RAQO_BENCH_JSON") == "" {
+		t.Skip("set RAQO_BENCH_JSON=1 to record BENCH_cloud.json")
+	}
+	type entry struct {
+		Name            string  `json:"name"`
+		NsPerOp         float64 `json:"ns_per_op"`
+		OpsPerSec       float64 `json:"ops_per_sec"`
+		NsPerArrival    float64 `json:"ns_per_arrival,omitempty"`
+		ArrivalsPerSec  float64 `json:"arrivals_per_sec,omitempty"`
+		NsPerScaleEvent float64 `json:"ns_per_scale_event,omitempty"`
+		AllocsPerOp     int64   `json:"allocs_per_op"`
+	}
+	var entries []entry
+	record := func(name string, arrivalsPerOp, scalePerOp int, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		e := entry{
+			Name:        name,
+			NsPerOp:     ns,
+			OpsPerSec:   1e9 / ns,
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if arrivalsPerOp > 0 {
+			e.NsPerArrival = ns / float64(arrivalsPerOp)
+			e.ArrivalsPerSec = 1e9 / e.NsPerArrival
+		}
+		if scalePerOp > 0 {
+			e.NsPerScaleEvent = ns / float64(scalePerOp)
+		}
+		entries = append(entries, e)
+	}
+	trace := benchCloudTrace(t)
+	record("CloudWorkload/static", len(trace), 0, func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			a := newBenchCloud(b, false, false)
+			b.StartTimer()
+			runBenchCloud(b, a, trace)
+		}
+	})
+	// One replay outside the timer pins the deterministic scale-event
+	// count, so the elastic entry can report per-step autoscaler cost.
+	pin := newBenchCloud(t, true, true)
+	if _, err := pin.Run(trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := pin.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	scaleEvents := len(pin.ScaleEvents())
+	if scaleEvents == 0 {
+		t.Fatal("elastic replay produced no scale events; the autoscaler entry would be meaningless")
+	}
+	record("CloudWorkload/autoscaler", len(trace), scaleEvents, func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			a := newBenchCloud(b, true, true)
+			b.StartTimer()
+			runBenchCloud(b, a, trace)
+		}
+	})
+	record("CloudPreemptRecover", 0, 0, func(b *testing.B) {
+		a := newBenchCloud(b, false, false)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := a.SubmitWait("etl", workload.Q12, cloud.RecoverReoptimize); err != nil {
+				b.Fatal(err)
+			}
+			if n, err := a.PreemptFraction(1); err != nil || n != 1 {
+				b.Fatalf("revoked %d, err %v", n, err)
+			}
+			if err := a.Drain(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	report := struct {
+		GoMaxProcs int     `json:"gomaxprocs"`
+		NumCPU     int     `json:"num_cpu"`
+		Note       string  `json:"note"`
+		Benchmarks []entry `json:"benchmarks"`
+	}{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Note: "CloudWorkload replays the seeded 24-query stream through the priced pool " +
+			"(per-arrival = admission over the class preference order, billing and pool " +
+			"bookkeeping; the autoscaler variant adds seeded spot interruption, recovery " +
+			"and the scaling loop — ns_per_scale_event is its per-step cost); " +
+			"CloudPreemptRecover is one admit → storm-revoke → recover → finish round trip, " +
+			"the machinery behind POST /v1/cloud/preempt.",
+		Benchmarks: entries,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_cloud.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_cloud.json with %d benchmarks", len(entries))
+}

@@ -79,6 +79,11 @@ func parseServeFlags(args []string) (*serveSettings, error) {
 	recalInterval := fs.Duration("recal-interval", 0, "background recalibration check interval (0 = 30s, negative disables)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	arbCapacity := fs.Int("arbiter-capacity", 0, "container count of the workload arbiter's simulated pool (0 = 100)")
+	cloudSeed := fs.Int64("cloud-seed", 0, "seed for the cloud pool's spot-interruption process (0 = fault-free)")
+	cloudOnDemand := fs.Int("cloud-ondemand", 0, "on-demand containers in the priced cloud pool (0 = 12)")
+	cloudSpot := fs.Int("cloud-spot", 0, "spot containers in the priced cloud pool (0 = 24, negative omits spot)")
+	cloudSpotDiscount := fs.Float64("cloud-spot-discount", 0, "spot discount off the on-demand rate (0 = 0.7)")
+	cloudAutoscale := fs.Bool("cloud-autoscale", false, "put the spot class under the budget-aware autoscaler")
 	peers := fs.String("peers", "", "comma-separated host:port list of the other fleet nodes (enables fleet routing)")
 	nodeID := fs.String("node-id", "", "this node's advertised host:port on the fleet ring (required with -peers)")
 	fleetVNodes := fs.Int("fleet-vnodes", ring.DefaultVNodes, "virtual nodes per fleet member on the consistent-hash ring")
@@ -132,11 +137,16 @@ func parseServeFlags(args []string) (*serveSettings, error) {
 				Window:     *driftWindow,
 				MinSamples: *driftMinSamples,
 			},
-			RecalInterval:    *recalInterval,
-			HistoryDir:       *historyDir,
-			HistoryRetention: int64(*historyRetention / time.Second),
-			HistoryInterval:  *historyInterval,
-			ArbiterCapacity:  *arbCapacity,
+			RecalInterval:     *recalInterval,
+			HistoryDir:        *historyDir,
+			HistoryRetention:  int64(*historyRetention / time.Second),
+			HistoryInterval:   *historyInterval,
+			ArbiterCapacity:   *arbCapacity,
+			CloudSeed:         *cloudSeed,
+			CloudOnDemand:     *cloudOnDemand,
+			CloudSpot:         *cloudSpot,
+			CloudSpotDiscount: *cloudSpotDiscount,
+			CloudAutoscale:    *cloudAutoscale,
 		},
 	}, nil
 }

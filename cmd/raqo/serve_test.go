@@ -39,6 +39,31 @@ func TestParseServeFlagsAdmission(t *testing.T) {
 	}
 }
 
+// TestParseServeFlagsCloud maps the priced-pool flags onto the cloud
+// arbiter config.
+func TestParseServeFlagsCloud(t *testing.T) {
+	st, err := parseServeFlags([]string{
+		"-cloud-seed", "7", "-cloud-ondemand", "6", "-cloud-spot", "18",
+		"-cloud-spot-discount", "0.5", "-cloud-autoscale",
+		"-trained=false",
+	})
+	if err != nil {
+		t.Fatalf("parseServeFlags: %v", err)
+	}
+	if st.cfg.CloudSeed != 7 {
+		t.Errorf("CloudSeed = %d, want 7", st.cfg.CloudSeed)
+	}
+	if st.cfg.CloudOnDemand != 6 || st.cfg.CloudSpot != 18 {
+		t.Errorf("market = %d on-demand / %d spot, want 6/18", st.cfg.CloudOnDemand, st.cfg.CloudSpot)
+	}
+	if st.cfg.CloudSpotDiscount != 0.5 {
+		t.Errorf("CloudSpotDiscount = %g, want 0.5", st.cfg.CloudSpotDiscount)
+	}
+	if !st.cfg.CloudAutoscale {
+		t.Error("CloudAutoscale not set")
+	}
+}
+
 // TestParseServeFlagsFeedback maps the feedback-loop flags onto the
 // journal, store, drift and recalibration config.
 func TestParseServeFlagsFeedback(t *testing.T) {

@@ -554,11 +554,8 @@ func (a *Arbiter) admit(ts *tenantState, p *pending, d *core.Decision, replanned
 // longer fits the shrunken containers), the query stays queued for the
 // next event.
 func (a *Arbiter) admitDegraded(ts *tenantState, p *pending, cond cluster.Conditions) (bool, error) {
-	clamped := p.dec.Plan.Clone()
-	a.joinBuf = clamped.AppendJoins(a.joinBuf[:0])
-	for _, j := range a.joinBuf {
-		j.Res = cond.Clamp(j.Res)
-	}
+	clamped, buf := scheduler.ClampClone(p.dec.Plan, cond, a.joinBuf)
+	a.joinBuf = buf
 	if _, err := a.cfg.Engine.Execute(clamped, a.cfg.Pricing); err != nil {
 		var oom *execsim.OOMError
 		if errors.As(err, &oom) {

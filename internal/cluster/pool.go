@@ -136,6 +136,47 @@ func (p *Pool) Advance(t float64) []Release {
 	return out
 }
 
+// Revoke removes a still-running allocation before its finish time and
+// returns its containers to the pool — the primitive behind spot
+// preemption and mid-run aborts. The returned Release carries the
+// original finish time so callers can tell how much work was lost.
+//
+// Revoking a token that already finished (or never existed) reports
+// ok=false: callers that Advance to an instant and then revoke at that
+// same instant therefore get "finish wins" semantics — an allocation
+// finishing exactly when the preemption lands counts as completed.
+func (p *Pool) Revoke(token int64) (Release, bool) {
+	for i := range p.running {
+		if p.running[i].token != token {
+			continue
+		}
+		a := p.running[i]
+		heap.Remove(&p.running, i)
+		p.free += a.containers
+		p.heldGB -= float64(a.containers) * a.gbEach
+		if p.running.Len() == 0 || p.heldGB < 0 {
+			p.heldGB = 0
+		}
+		return Release{Token: a.token, Finish: a.finish, Containers: a.containers, GBEach: a.gbEach}, true
+	}
+	return Release{}, false
+}
+
+// SetCapacity resizes the pool to n containers. Shrinking below the
+// containers currently held is an error: running gangs are never evicted
+// implicitly — revoke them first.
+func (p *Pool) SetCapacity(n int) error {
+	if n < 1 {
+		return fmt.Errorf("cluster: pool capacity %d < 1", n)
+	}
+	if inUse := p.capacity - p.free; n < inUse {
+		return fmt.Errorf("cluster: shrinking capacity to %d below %d containers in use", n, inUse)
+	}
+	p.free += n - p.capacity
+	p.capacity = n
+	return nil
+}
+
 // Conditions derives the cluster conditions the pool can offer right now:
 // the base conditions with the container axis capped at the free count.
 // ok is false when fewer than base.MinContainers containers are free — an

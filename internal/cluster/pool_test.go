@@ -188,6 +188,179 @@ func TestSimulatorConditionsAt(t *testing.T) {
 	}
 }
 
+func TestPoolRevoke(t *testing.T) {
+	p, _ := NewPool(10)
+	tok1, _ := p.Allocate(4, 8, 10)
+	tok2, _ := p.Allocate(6, 2, 20)
+
+	rel, ok := p.Revoke(tok1)
+	if !ok || rel.Token != tok1 || rel.Containers != 4 || rel.Finish != 10 {
+		t.Fatalf("revoke(tok1) = %+v ok=%v", rel, ok)
+	}
+	if p.Free() != 4 || p.Running() != 1 {
+		t.Fatalf("after revoke: free=%d running=%d", p.Free(), p.Running())
+	}
+	if got, want := p.HeldGB(), 6*2.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("held GB %g, want %g", got, want)
+	}
+	// Double-revoke and unknown tokens report ok=false.
+	if _, ok := p.Revoke(tok1); ok {
+		t.Fatal("double revoke succeeded")
+	}
+	if _, ok := p.Revoke(999); ok {
+		t.Fatal("unknown token revoked")
+	}
+	// The survivor still releases normally.
+	out := p.Advance(20)
+	if len(out) != 1 || out[0].Token != tok2 {
+		t.Fatalf("advance after revoke releases %+v", out)
+	}
+	if p.Free() != 10 || p.HeldGB() != 0 {
+		t.Fatalf("drained pool: free=%d heldGB=%g", p.Free(), p.HeldGB())
+	}
+}
+
+// TestPoolFinishRevokeSameInstant pins the tie-break when a preemption
+// lands at exactly an allocation's finish time: advancing to that instant
+// releases the allocation first, so the revoke finds nothing — finish wins.
+func TestPoolFinishRevokeSameInstant(t *testing.T) {
+	p, _ := NewPool(4)
+	tok, _ := p.Allocate(4, 1, 5)
+	rel := p.Advance(5)
+	if len(rel) != 1 || rel[0].Token != tok {
+		t.Fatalf("advance(5) releases %+v", rel)
+	}
+	if _, ok := p.Revoke(tok); ok {
+		t.Fatal("revoke at the finish instant must lose to the release")
+	}
+	// Without the advance, a revoke at the same virtual instant wins:
+	// the caller chose not to process the finish first.
+	tok2, _ := p.Allocate(2, 1, 5)
+	if rel, ok := p.Revoke(tok2); !ok || rel.Token != tok2 {
+		t.Fatalf("revoke before advancing = %+v ok=%v", rel, ok)
+	}
+}
+
+// TestPoolAdvanceToExactNextFinish pins the inclusive boundary: advancing
+// to exactly NextFinish releases that allocation (finish <= now), and
+// NextFinish then reports the next outstanding one.
+func TestPoolAdvanceToExactNextFinish(t *testing.T) {
+	p, _ := NewPool(10)
+	tokA, _ := p.Allocate(3, 1, 7)
+	if _, err := p.Allocate(3, 1, 11); err != nil {
+		t.Fatal(err)
+	}
+	f, ok := p.NextFinish()
+	if !ok || f != 7 {
+		t.Fatalf("NextFinish = %g ok=%v, want 7", f, ok)
+	}
+	rel := p.Advance(f)
+	if len(rel) != 1 || rel[0].Token != tokA {
+		t.Fatalf("advance(NextFinish) releases %+v", rel)
+	}
+	if p.Now() != 7 {
+		t.Fatalf("now = %g, want 7", p.Now())
+	}
+	if f, ok = p.NextFinish(); !ok || f != 11 {
+		t.Fatalf("next NextFinish = %g ok=%v, want 11", f, ok)
+	}
+}
+
+// TestPoolConditionsAtZeroFree pins the empty-resource-space answer when
+// every container is held at the probe instant.
+func TestPoolConditionsAtZeroFree(t *testing.T) {
+	base := Default()
+	p, _ := NewPool(100)
+	if _, err := p.Allocate(100, 1, 50); err != nil {
+		t.Fatal(err)
+	}
+	if cond, ok := p.ConditionsAt(10, base); ok {
+		t.Fatalf("zero free containers yielded conditions %+v", cond)
+	}
+	if p.Now() != 10 {
+		t.Fatalf("ConditionsAt must still advance the clock: now=%g", p.Now())
+	}
+	// At the finish instant the full space is back.
+	if cond, ok := p.ConditionsAt(50, base); !ok || cond != base {
+		t.Fatalf("post-finish conditions %+v ok=%v", cond, ok)
+	}
+}
+
+// TestPoolReleaseOrderDeterministicUnderPreemption revokes a pseudo-random
+// subset mid-run and checks the survivors still release in (finish, token)
+// order, identically across repeats — preemption must not perturb the
+// release ordering the arbiter's determinism depends on.
+func TestPoolReleaseOrderDeterministicUnderPreemption(t *testing.T) {
+	run := func() []int64 {
+		p, _ := NewPool(64)
+		rng := rand.New(rand.NewSource(99))
+		var toks []int64
+		for i := 0; i < 40; i++ {
+			finish := float64(1 + rng.Intn(5)) // heavy finish-time ties
+			tok, err := p.Allocate(1, 1, finish)
+			if err != nil {
+				t.Fatal(err)
+			}
+			toks = append(toks, tok)
+		}
+		for _, tok := range toks {
+			if rng.Float64() < 0.4 {
+				if _, ok := p.Revoke(tok); !ok {
+					t.Fatalf("revoke(%d) failed", tok)
+				}
+			}
+		}
+		var order []int64
+		for _, r := range p.Advance(100) {
+			order = append(order, r.Token)
+		}
+		return order
+	}
+	first := run()
+	for i, tok := range first[1:] {
+		prev := first[i]
+		// Same-finish ties must come out in token order; the generator
+		// makes finishes coarse so cross-finish order is covered too.
+		if prev >= tok && prev-tok > 40 {
+			t.Fatalf("implausible release order: %v", first)
+		}
+	}
+	for rep := 0; rep < 3; rep++ {
+		again := run()
+		if len(again) != len(first) {
+			t.Fatalf("repeat released %d, want %d", len(again), len(first))
+		}
+		for i := range again {
+			if again[i] != first[i] {
+				t.Fatalf("repeat %d diverged at %d: %v vs %v", rep, i, again, first)
+			}
+		}
+	}
+}
+
+func TestPoolSetCapacity(t *testing.T) {
+	p, _ := NewPool(10)
+	if _, err := p.Allocate(6, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetCapacity(16); err != nil || p.Capacity() != 16 || p.Free() != 10 {
+		t.Fatalf("grow: err=%v cap=%d free=%d", err, p.Capacity(), p.Free())
+	}
+	if err := p.SetCapacity(6); err != nil || p.Capacity() != 6 || p.Free() != 0 {
+		t.Fatalf("shrink to in-use: err=%v cap=%d free=%d", err, p.Capacity(), p.Free())
+	}
+	if err := p.SetCapacity(5); err == nil {
+		t.Fatal("shrink below in-use accepted")
+	}
+	if err := p.SetCapacity(0); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	p.Advance(10)
+	if p.Free() != 6 {
+		t.Fatalf("free after finish = %d, want 6", p.Free())
+	}
+}
+
 // TestRunMatchesConditionsAtOccupancy cross-checks the two views of the one
 // occupancy model: at every job start/finish boundary, summing the gangs
 // Run reports as held must equal what ConditionsAt says is not free.

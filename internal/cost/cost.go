@@ -229,7 +229,7 @@ func (m *Models) PlanCost(p *plan.Node) (float64, error) {
 // serverless-analytics model the paper references (pay for container-hours;
 // we use GB-seconds as the unit).
 type Pricing struct {
-	DollarPerGBSecond float64
+	DollarPerGBSecond units.USDPerGBSecond
 }
 
 // DefaultPricing is loosely modeled on serverless query pricing; only
@@ -243,7 +243,7 @@ func StageUsage(r plan.Resources, seconds float64) units.GBSeconds {
 
 // StageCost prices a stage's reservation.
 func (p Pricing) StageCost(r plan.Resources, seconds float64) units.Dollars {
-	return units.Dollars(float64(StageUsage(r, seconds)) * p.DollarPerGBSecond)
+	return p.DollarPerGBSecond.Over(StageUsage(r, seconds))
 }
 
 // PlanMoney returns the modeled monetary cost of a plan: each join stage

@@ -297,7 +297,7 @@ func (p Params) execute(root *plan.Node, uniform *plan.Resources, pricing cost.P
 		res.Seconds += secs
 		res.Usage += usage
 	}
-	res.Money = units.Dollars(float64(res.Usage) * pricing.DollarPerGBSecond)
+	res.Money = pricing.DollarPerGBSecond.Over(res.Usage)
 	return res, nil
 }
 

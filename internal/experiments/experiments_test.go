@@ -24,7 +24,7 @@ func TestFigureRegistryComplete(t *testing.T) {
 	ids := FigureIDs()
 	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15a", "fig15b",
-		"feedback", "arbiter", "history"}
+		"feedback", "arbiter", "history", "cloud"}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)
 	}

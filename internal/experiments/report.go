@@ -104,10 +104,12 @@ func Figures() map[string]Runner {
 		"fig15a": Figure15a,
 		"fig15b": Figure15b,
 		// Not paper figures: the serving layer's adaptivity report, the
-		// workload-arbitration report and the long-horizon history report.
+		// workload-arbitration report, the long-horizon history report and
+		// the cloud-economics report.
 		"feedback": FeedbackConvergence,
 		"arbiter":  ArbiterWorkload,
 		"history":  HistoryObservability,
+		"cloud":    CloudEconomics,
 	}
 }
 
@@ -126,7 +128,7 @@ func figOrder(id string) int {
 		"fig1": 1, "fig2": 2, "fig3": 3, "fig4": 4, "fig5": 5, "fig6": 6,
 		"fig7": 7, "fig9": 9, "fig10": 10, "fig11": 11, "fig12": 12,
 		"fig13": 13, "fig14": 14, "fig15a": 15, "fig15b": 16,
-		"feedback": 17, "arbiter": 18, "history": 19,
+		"feedback": 17, "arbiter": 18, "history": 19, "cloud": 20,
 	}
 	return order[id]
 }

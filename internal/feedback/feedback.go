@@ -40,6 +40,7 @@ import (
 
 	"raqo/internal/cost"
 	"raqo/internal/plan"
+	"raqo/internal/units"
 )
 
 // OperatorSample is one join operator's execution feedback: the cost-model
@@ -72,12 +73,12 @@ func (s OperatorSample) Profile() (cost.Profile, error) {
 // promised versus what the engine delivered, plus the per-operator samples
 // that make the evidence trainable.
 type Observation struct {
-	Signature        string  `json:"signature"` // plan signature (with resources)
-	Engine           string  `json:"engine"`    // e.g. "hive", "spark"
-	PredictedSeconds float64 `json:"predictedSeconds"`
-	ObservedSeconds  float64 `json:"observedSeconds"`
-	PredictedDollars float64 `json:"predictedDollars"`
-	ObservedDollars  float64 `json:"observedDollars"`
+	Signature        string    `json:"signature"` // plan signature (with resources)
+	Engine           string    `json:"engine"`    // e.g. "hive", "spark"
+	PredictedSeconds float64   `json:"predictedSeconds"`
+	ObservedSeconds  float64   `json:"observedSeconds"`
+	PredictedDollars units.USD `json:"predictedDollars"`
+	ObservedDollars  units.USD `json:"observedDollars"`
 	// ObservedAt is when the execution finished, in unix seconds — wall
 	// time in the server, virtual time under the arbiter's clock. It keys
 	// the observation into the history store; 0 means "not timestamped"

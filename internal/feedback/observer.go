@@ -53,8 +53,8 @@ func (ob *Observer) RecordAt(at int64, engine string, root *plan.Node, predicted
 		Engine:           engine,
 		PredictedSeconds: predictedSeconds,
 		ObservedSeconds:  res.Seconds,
-		PredictedDollars: float64(predictedMoney),
-		ObservedDollars:  float64(res.Money),
+		PredictedDollars: predictedMoney,
+		ObservedDollars:  res.Money,
 		ObservedAt:       at,
 	}
 	if root != nil {

@@ -32,7 +32,7 @@ func TestGolden(t *testing.T) {
 		seen[f.Rule] = true
 	}
 	for _, rule := range []string{
-		"maprange", "randsrc", "clock", "units", "unitmix", "ctx", "metric", "pool",
+		"maprange", "randsrc", "clock", "units", "unitmix", "money", "ctx", "metric", "pool",
 		"locks", "leak", "durable", "ackmark", "noalloc",
 	} {
 		if !seen[rule] {

@@ -1,0 +1,35 @@
+// Package cloudcase exercises the clock and nondet analyzers inside the
+// priced-capacity scope (internal/cloud): billing, preemption and
+// autoscaling all run on the virtual clock from derived seeds, so
+// wall-clock reads and unseeded randomness must be flagged here.
+package cloudcase
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BillStamp reads the wall clock inside the cloud scope — dollar figures
+// would depend on host speed.
+func BillStamp() time.Time {
+	return time.Now() // want `\[clock\] time.Now reads the wall clock`
+}
+
+// ProvisionLag blocks on host time inside the cloud scope.
+func ProvisionLag(d time.Duration) {
+	time.Sleep(d) // want `\[clock\] time.Sleep reads the wall clock`
+}
+
+// SpotLifetime draws from the global source — interruptions would differ
+// run to run.
+func SpotLifetime(mean float64) float64 {
+	return rand.ExpFloat64() * mean // want `\[randsrc\] rand\.ExpFloat64 draws from the global source`
+}
+
+// VictimOrder picks a preemption victim in map-iteration order.
+func VictimOrder(running map[int64]int) int64 {
+	for tok := range running { // want `\[maprange\] range over map`
+		return tok
+	}
+	return 0
+}

@@ -1,0 +1,42 @@
+// Package cloudok is the clean golden twin of cloudcase: the sanctioned
+// cloud-layer idioms — virtual time carried as plain floats, fault draws
+// from explicitly derived seeds, and map iteration that collects and
+// sorts before anything order-sensitive happens.
+package cloudok
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Meter accrues spend purely from virtual timestamps.
+type Meter struct {
+	now  float64
+	rate float64
+}
+
+// Advance moves the virtual clock; no wall-clock read anywhere.
+func (m *Meter) Advance(t float64) float64 {
+	if t > m.now {
+		m.now = t
+	}
+	return m.now * m.rate
+}
+
+// DrawLifetime rolls a spot lifetime from an explicitly derived seed —
+// the blessed reproducible pattern.
+func DrawLifetime(seed int64, mean float64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.ExpFloat64() * mean
+}
+
+// Victims collects running tokens and sorts them before choosing — the
+// canonical exempt map-range idiom.
+func Victims(running map[int64]int) []int64 {
+	var toks []int64
+	for tok := range running {
+		toks = append(toks, tok)
+	}
+	sort.Slice(toks, func(i, j int) bool { return toks[i] < toks[j] })
+	return toks
+}

@@ -35,3 +35,17 @@ func Spill(b units.Bytes) bool {
 func Window(b units.Bytes) bool {
 	return b > 4*units.MB && b != 0
 }
+
+// Bill carries money as raw float64s — a $/hr rate silently adds to a $
+// total (rule money).
+type Bill struct {
+	SpentDollars float64 // want `\[money\] field "SpentDollars" of exported Bill is a raw float64 dollar amount`
+	CapUSD       float64 // want `\[money\] field "CapUSD" of exported Bill is a raw float64 dollar amount`
+	DollarPerGB  float64 // want `\[money\] field "DollarPerGB" of exported Bill is a raw float64 dollar amount`
+}
+
+// Charge takes a raw dollar rate.
+func Charge(usdPerHour float64) float64 { return usdPerHour } // want `\[money\] parameter "usdPerHour" of exported Charge is a raw float64 dollar amount`
+
+// SpendUSD hides the currency in an unnamed float64 result.
+func SpendUSD(b Bill) float64 { return b.SpentDollars } // want `\[money\] exported SpendUSD returns a raw float64 dollar amount`

@@ -17,3 +17,15 @@ func Fits(b Budget, want units.Bytes) bool { return want <= b.Limit }
 
 // TotalGB is the sanctioned unit-suffixed float convention.
 func TotalGB(b Budget) float64 { return float64(b.Containers) * b.ContainerGB }
+
+// Invoice carries money in the typed currency wrappers: named types keep
+// the money rule quiet even though their underlying type is float64.
+type Invoice struct {
+	SpentUSD units.USD
+	RateUSD  units.USDPerHour
+}
+
+// AccrueUSD returns a typed dollar amount.
+func AccrueUSD(v Invoice, seconds float64) units.USD {
+	return v.SpentUSD + v.RateUSD.Over(seconds)
+}

@@ -14,12 +14,15 @@ import (
 // sanctioned model-space convention documented in internal/units). It also
 // flags float64-typed "containers" — a container count is discrete. Rule
 // "unitmix" flags arithmetic that mixes units.Bytes with bare numeric
-// literals, where a forgotten unit multiplies silently.
+// literals, where a forgotten unit multiplies silently. Rule "money"
+// flags exported API surface holding dollar amounts or dollar rates as
+// raw float64s (use units.USD, units.USDPerHour or units.USDPerGBSecond;
+// an untyped dollar float is how a $/hr rate gets added to a $ total).
 func Units() *Analyzer {
 	return &Analyzer{
 		Name:  "units",
-		Doc:   "sizes cross exported APIs as units.Bytes or unit-suffixed floats, never anonymously",
-		Rules: []string{"units", "unitmix"},
+		Doc:   "sizes cross exported APIs as units.Bytes or unit-suffixed floats, never anonymously; money as units.USD",
+		Rules: []string{"units", "unitmix", "money"},
 		Run:   runUnits,
 	}
 }
@@ -39,6 +42,15 @@ func ambiguousSizeName(name string) bool {
 	return strings.HasSuffix(l, "bytes") ||
 		strings.HasSuffix(l, "mem") || strings.HasSuffix(l, "memory") ||
 		strings.HasSuffix(l, "containers")
+}
+
+// moneyName reports whether a name claims to hold a dollar amount or a
+// dollar rate, so a raw float64 loses the unit (and lets a rate silently
+// add to a total).
+func moneyName(name string) bool {
+	l := strings.ToLower(name)
+	return strings.HasSuffix(l, "dollars") || strings.HasSuffix(l, "usd") ||
+		strings.HasPrefix(l, "dollarper") || strings.HasPrefix(l, "usdper")
 }
 
 // floatSized reports whether t is float64 or a slice/array of float64 —
@@ -70,11 +82,17 @@ func unitNames(p *Package) []Finding {
 				if what == "field" && !ast.IsExported(name.Name) {
 					continue
 				}
-				if !ambiguousSizeName(name.Name) {
+				if ambiguousSizeName(name.Name) {
+					out = append(out, p.finding("units", name,
+						"%s %q of exported %s is a raw float64 size; use units.Bytes (or an int count) so the unit is typed", what, name.Name, owner))
 					continue
 				}
-				out = append(out, p.finding("units", name,
-					"%s %q of exported %s is a raw float64 size; use units.Bytes (or an int count) so the unit is typed", what, name.Name, owner))
+				// Money names must carry a typed currency: bareFloat skips
+				// units.USD and friends, whose underlying type is float64.
+				if moneyName(name.Name) && bareFloat(t) {
+					out = append(out, p.finding("money", name,
+						"%s %q of exported %s is a raw float64 dollar amount; use units.USD, units.USDPerHour or units.USDPerGBSecond so the currency (and rate denominator) is typed", what, name.Name, owner))
+				}
 			}
 		}
 	}
@@ -88,14 +106,23 @@ func unitNames(p *Package) []Finding {
 				checkFields(decl.Type.Params, "parameter", decl.Name.Name)
 				checkFields(decl.Type.Results, "result", decl.Name.Name)
 				// An unnamed float64 result takes its unit from the
-				// function's own name: Bytes() float64 hides the unit.
-				if ambiguousSizeName(decl.Name.Name) && decl.Type.Results != nil {
+				// function's own name: Bytes() float64 hides the unit, and
+				// SpendUSD() float64 hides the currency.
+				if (ambiguousSizeName(decl.Name.Name) || moneyName(decl.Name.Name)) && decl.Type.Results != nil {
 					for _, r := range decl.Type.Results.List {
-						if len(r.Names) == 0 {
-							if t := p.Info.TypeOf(r.Type); t != nil && floatSized(t) {
-								out = append(out, p.finding("units", decl.Name,
-									"exported %s returns a raw float64 size; return units.Bytes so the unit is typed", decl.Name.Name))
-							}
+						if len(r.Names) != 0 {
+							continue
+						}
+						t := p.Info.TypeOf(r.Type)
+						if t == nil || !floatSized(t) {
+							continue
+						}
+						if ambiguousSizeName(decl.Name.Name) {
+							out = append(out, p.finding("units", decl.Name,
+								"exported %s returns a raw float64 size; return units.Bytes so the unit is typed", decl.Name.Name))
+						} else if bareFloat(t) {
+							out = append(out, p.finding("money", decl.Name,
+								"exported %s returns a raw float64 dollar amount; return units.USD (or a units rate type) so the currency is typed", decl.Name.Name))
 						}
 					}
 				}
@@ -123,6 +150,21 @@ func unitNames(p *Package) []Finding {
 		}
 	}
 	return out
+}
+
+// bareFloat reports whether t is the basic float64 type (or a slice or
+// array of it) with no defined name — a named type like units.USD carries
+// its unit even though its underlying type is float64.
+func bareFloat(t types.Type) bool {
+	switch u := t.(type) {
+	case *types.Basic:
+		return u.Kind() == types.Float64
+	case *types.Slice:
+		return bareFloat(u.Elem())
+	case *types.Array:
+		return bareFloat(u.Elem())
+	}
+	return false
 }
 
 // exportedRecv reports whether a function's receiver (if any) names an

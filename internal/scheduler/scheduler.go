@@ -161,6 +161,21 @@ func Fits(p *plan.Node, avail cluster.Conditions) bool {
 	return Fits(p.Left, avail) && Fits(p.Right, avail)
 }
 
+// ClampClone returns a copy of p with every join's resource request
+// clamped onto cond, reusing buf for the join walk (pass nil when not on
+// a hot path) and returning the possibly-grown buffer. It is the one
+// implementation of the Degrade transformation, shared by the one-shot
+// scheduler, the workload arbiter and the cloud arbiter's degrade
+// recovery.
+func ClampClone(p *plan.Node, cond cluster.Conditions, buf []*plan.Node) (*plan.Node, []*plan.Node) {
+	clamped := p.Clone()
+	buf = clamped.AppendJoins(buf[:0])
+	for _, j := range buf {
+		j.Res = cond.Clamp(j.Res)
+	}
+	return clamped, buf
+}
+
 // Submit schedules a joint plan under the currently available conditions
 // with the given policy. The submitted plan is not modified: Degrade and
 // Reoptimize run a copy or a new plan.
@@ -200,10 +215,7 @@ func (s *Scheduler) Submit(q *plan.Query, submitted *plan.Node, avail cluster.Co
 		return &Outcome{Policy: policy, QueueSeconds: wait, ExecSeconds: res.Seconds, Result: res}, nil
 
 	case Degrade:
-		clamped := submitted.Clone()
-		for _, j := range clamped.Joins() {
-			j.Res = avail.Clamp(j.Res)
-		}
+		clamped, _ := ClampClone(submitted, avail, nil)
 		res, err := s.Engine.Execute(clamped, s.Pricing)
 		if err != nil {
 			return nil, err

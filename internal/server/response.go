@@ -8,6 +8,7 @@ import (
 	"raqo/internal/feedback"
 	"raqo/internal/plan"
 	"raqo/internal/resource"
+	"raqo/internal/units"
 )
 
 // This file defines the service's wire types. They are shared with
@@ -29,7 +30,7 @@ type OptimizeRequest struct {
 	Containers  int     `json:"containers,omitempty"`
 	ContainerGB float64 `json:"containerGB,omitempty"`
 	// BudgetDollars is the price mode's monetary budget.
-	BudgetDollars float64 `json:"budgetDollars,omitempty"`
+	BudgetDollars units.USD `json:"budgetDollars,omitempty"`
 }
 
 // OptimizeResponse is one joint query/resource decision on the wire. Plan
@@ -40,7 +41,7 @@ type OptimizeResponse struct {
 	Mode               string     `json:"mode"`
 	Planner            string     `json:"planner"`
 	TimeSeconds        float64    `json:"timeSeconds"`
-	MoneyDollars       float64    `json:"moneyDollars"`
+	MoneyDollars       units.USD  `json:"moneyDollars"`
 	PlansConsidered    int        `json:"plansConsidered"`
 	ResourceIterations int64      `json:"resourceIterations"`
 	ElapsedMicros      int64      `json:"elapsedMicros"`
@@ -54,7 +55,7 @@ func NewOptimizeResponse(query, mode string, planner core.PlannerKind, d *core.D
 		Mode:               mode,
 		Planner:            planner.String(),
 		TimeSeconds:        d.Time,
-		MoneyDollars:       float64(d.Money),
+		MoneyDollars:       d.Money,
 		PlansConsidered:    d.PlansConsidered,
 		ResourceIterations: d.ResourceIterations,
 		ElapsedMicros:      d.Elapsed.Microseconds(),
@@ -109,13 +110,13 @@ type BatchResponse struct {
 
 // ExplainOperator is one operator of the /v1/explain cost breakdown.
 type ExplainOperator struct {
-	Algo           string   `json:"algo"`
-	Relations      []string `json:"relations"`
-	Containers     int      `json:"containers"`
-	ContainerGB    float64  `json:"containerGB"`
-	BuildSideGB    float64  `json:"buildSideGB"`
-	ModeledSeconds float64  `json:"modeledSeconds"`
-	ModeledDollars float64  `json:"modeledDollars"`
+	Algo           string    `json:"algo"`
+	Relations      []string  `json:"relations"`
+	Containers     int       `json:"containers"`
+	ContainerGB    float64   `json:"containerGB"`
+	BuildSideGB    float64   `json:"buildSideGB"`
+	ModeledSeconds float64   `json:"modeledSeconds"`
+	ModeledDollars units.USD `json:"modeledDollars"`
 	// AltAlgo/AltSeconds price the other implementation at the same
 	// resources, when a model for it exists.
 	AltAlgo    string  `json:"altAlgo,omitempty"`
@@ -141,7 +142,7 @@ func NewExplainOperators(ops []core.OperatorExplain) []ExplainOperator {
 			ContainerGB:    op.Res.ContainerGB,
 			BuildSideGB:    op.BuildSideGB,
 			ModeledSeconds: op.Seconds,
-			ModeledDollars: float64(op.Money),
+			ModeledDollars: op.Money,
 		}
 		if op.AltOK {
 			e.AltAlgo = op.AltAlgo.String()

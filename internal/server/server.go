@@ -17,6 +17,9 @@
 //	GET  /v1/model            live cost-model version + drift/error stats
 //	POST /v1/submit           one workload query through the shared-cluster arbiter
 //	GET  /v1/arbiter/stats    arbiter state; ?drain=1 drains the virtual cluster
+//	POST /v1/cloud/submit     one query through the elastic priced cloud pool
+//	POST /v1/cloud/preempt    revoke a fraction of running spot allocations
+//	GET  /v1/cloud/stats      cloud market state; ?drain=1 drains the pool
 //	GET  /healthz             liveness
 //	GET  /metrics             Prometheus text exposition (internal/telemetry)
 //
@@ -43,6 +46,7 @@ import (
 
 	"raqo/internal/arbiter"
 	"raqo/internal/catalog"
+	"raqo/internal/cloud"
 	"raqo/internal/cluster"
 	"raqo/internal/core"
 	"raqo/internal/cost"
@@ -52,7 +56,6 @@ import (
 	"raqo/internal/plan"
 	"raqo/internal/resource"
 	"raqo/internal/telemetry"
-	"raqo/internal/units"
 	"raqo/internal/workload"
 )
 
@@ -141,6 +144,25 @@ type Config struct {
 	// check every N completions; 0 disables (the background RecalInterval
 	// loop still covers drift from posted feedback).
 	ArbiterRecalEvery int
+
+	// CloudOnDemand and CloudSpot size the two-tier priced market behind
+	// POST /v1/cloud/submit; 0 selects 12 on-demand and 24 spot 10GB
+	// containers (CloudSpot < 0 omits the spot class).
+	CloudOnDemand int
+	CloudSpot     int
+	// CloudSpotDiscount is the fraction taken off the on-demand rate for
+	// spot capacity; 0 selects 0.7 (spot costs 30% of on-demand).
+	CloudSpotDiscount float64
+	// CloudSeed seeds the cloud pool's spot-interruption process; 0 runs
+	// the pool fault-free (storms are still available via
+	// POST /v1/cloud/preempt).
+	CloudSeed int64
+	// CloudAutoscale puts the spot class under the budget-aware
+	// autoscaler, elastic between a quarter and double CloudSpot.
+	CloudAutoscale bool
+	// CloudTenants configures the cloud arbiter's tenants; nil selects a
+	// single unlimited "default" tenant.
+	CloudTenants []cloud.TenantConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -183,6 +205,18 @@ func (c Config) withDefaults() Config {
 	if len(c.ArbiterTenants) == 0 {
 		c.ArbiterTenants = defaultArbiterTenants()
 	}
+	if c.CloudOnDemand == 0 {
+		c.CloudOnDemand = 12
+	}
+	if c.CloudSpot == 0 {
+		c.CloudSpot = 24
+	}
+	if c.CloudSpotDiscount == 0 {
+		c.CloudSpotDiscount = 0.7
+	}
+	if len(c.CloudTenants) == 0 {
+		c.CloudTenants = defaultCloudTenants()
+	}
 	return c
 }
 
@@ -200,6 +234,7 @@ type Server struct {
 	journal *feedback.Journal // nil unless Config.JournalPath was set
 	hist    *history.Store    // nil unless Config.HistoryDir was set
 	arb     *arbiterState
+	cld     *cloudState
 }
 
 // New builds a Server: schema, shared warm optimizer, metric registry and
@@ -310,6 +345,39 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 
+	// The cloud arbiter owns a third optimizer for the same reason the
+	// workload arbiter owns its second: admission re-points conditions per
+	// class, which no concurrent planner must observe. It too follows the
+	// live model set.
+	cloudOpt, err := core.New(cfg.Conditions, core.Options{
+		Models:       opt.Models(),
+		Engine:       &engine,
+		MemoizeCosts: true,
+		Workers:      cfg.Options.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rec.OnSwap(func(_ feedback.Recalibration, info *feedback.ModelInfo) {
+		_ = cloudOpt.SetModels(info.Models)
+	})
+	cld, err := cloud.New(cloud.Config{
+		Market:     cloudMarket(cfg),
+		Base:       cfg.Conditions,
+		Engine:     engine,
+		Pricing:    cost.DefaultPricing(),
+		Optimizer:  cloudOpt,
+		Workers:    cfg.Options.Workers,
+		Queries:    queries,
+		Tenants:    cfg.CloudTenants,
+		Faults:     cloudFaults(cfg),
+		Autoscaler: cloud.AutoscalerConfig{Enabled: cfg.CloudAutoscale},
+		Metrics:    cloud.NewMetrics(reg),
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	s := &Server{
 		cfg:     cfg,
 		sch:     sch,
@@ -322,6 +390,7 @@ func New(cfg Config) (*Server, error) {
 		journal: journal,
 		hist:    hist,
 		arb:     &arbiterState{arb: arb},
+		cld:     &cloudState{arb: cld},
 	}
 	reg.GaugeFunc("raqo_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
@@ -333,6 +402,9 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/feedback", s.instrument("/v1/feedback", s.handleFeedback))
 	mux.HandleFunc("POST /v1/submit", s.instrument("/v1/submit", s.handleSubmit))
 	mux.HandleFunc("GET /v1/arbiter/stats", s.instrument("/v1/arbiter/stats", s.handleArbiterStats))
+	mux.HandleFunc("POST /v1/cloud/submit", s.instrument("/v1/cloud/submit", s.handleCloudSubmit))
+	mux.HandleFunc("POST /v1/cloud/preempt", s.instrument("/v1/cloud/preempt", s.handleCloudPreempt))
+	mux.HandleFunc("GET /v1/cloud/stats", s.instrument("/v1/cloud/stats", s.handleCloudStats))
 	mux.HandleFunc("GET /v1/history", s.instrument("/v1/history", s.handleHistory))
 	mux.HandleFunc("GET /v1/model", s.instrument("/v1/model", s.handleModel))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
@@ -640,7 +712,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		case "budget":
 			d, err = s.opt.OptimizeForBudgetCtx(ctx, q, req.Containers, req.ContainerGB)
 		case "price":
-			d, err = s.opt.OptimizeForPriceCtx(ctx, q, units.Dollars(req.BudgetDollars))
+			d, err = s.opt.OptimizeForPriceCtx(ctx, q, req.BudgetDollars)
 		}
 		if err != nil {
 			s.writePlanningError(w, r, err)

@@ -77,3 +77,33 @@ type Dollars float64
 
 // String renders the amount, e.g. "$12.34".
 func (d Dollars) String() string { return fmt.Sprintf("$%.4f", float64(d)) }
+
+// USD is the canonical name for a monetary amount on exported APIs. It is
+// an alias (not a distinct type) so the original Dollars call sites and
+// the JSON wire shape — a plain number — are unchanged.
+type USD = Dollars
+
+// Microdollars returns the amount in integer microdollars, rounded down.
+// Telemetry counters are int64-valued, so dollar spend is exported as a
+// monotone microdollar counter rather than a float.
+func (d Dollars) Microdollars() int64 { return int64(math.Floor(float64(d) * 1e6)) }
+
+// USDPerHour is a capacity price: dollars charged per hour one container
+// of an instance class is provisioned, whether or not it is allocated.
+type USDPerHour float64
+
+// Over returns the cost of holding one unit for the given virtual seconds.
+func (r USDPerHour) Over(seconds float64) USD { return USD(float64(r) * seconds / 3600) }
+
+// String renders the rate, e.g. "$0.0520/hr".
+func (r USDPerHour) String() string { return fmt.Sprintf("$%.4f/hr", float64(r)) }
+
+// USDPerGBSecond is a usage price: dollars charged per GB·s of memory
+// actually reserved — the serverless billing currency of the paper.
+type USDPerGBSecond float64
+
+// Over returns the cost of the given usage.
+func (r USDPerGBSecond) Over(g GBSeconds) USD { return USD(float64(r) * float64(g)) }
+
+// String renders the rate, e.g. "$0.000010/GB·s".
+func (r USDPerGBSecond) String() string { return fmt.Sprintf("$%.6f/GB·s", float64(r)) }

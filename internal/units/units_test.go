@@ -78,3 +78,48 @@ func TestSecondsAndDollarsString(t *testing.T) {
 		t.Errorf("Dollars.String = %q", got)
 	}
 }
+
+func TestUSDAliasAndMicrodollars(t *testing.T) {
+	var d Dollars = 2.5
+	var u USD = d // alias: assignable without conversion
+	if u.String() != "$2.5000" {
+		t.Errorf("USD.String = %q", u.String())
+	}
+	tests := []struct {
+		in   USD
+		want int64
+	}{
+		{0, 0},
+		{1, 1_000_000},
+		{0.0000015, 1},
+		{12.3456789, 12_345_678},
+	}
+	for _, tt := range tests {
+		if got := tt.in.Microdollars(); got != tt.want {
+			t.Errorf("(%v).Microdollars() = %d, want %d", float64(tt.in), got, tt.want)
+		}
+	}
+}
+
+func TestUSDPerHourOver(t *testing.T) {
+	r := USDPerHour(3.6)
+	if got := r.Over(1000); math.Abs(float64(got)-1.0) > 1e-12 {
+		t.Errorf("Over(1000s) = %v, want $1", got)
+	}
+	if got := r.Over(0); got != 0 {
+		t.Errorf("Over(0) = %v, want 0", got)
+	}
+	if got := r.String(); got != "$3.6000/hr" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestUSDPerGBSecondOver(t *testing.T) {
+	r := USDPerGBSecond(1e-5)
+	if got := r.Over(GBSeconds(2e5)); math.Abs(float64(got)-2.0) > 1e-12 {
+		t.Errorf("Over(2e5 GB·s) = %v, want $2", got)
+	}
+	if got := r.String(); got != "$0.000010/GB·s" {
+		t.Errorf("String = %q", got)
+	}
+}
